@@ -1,0 +1,174 @@
+// Package repro's top-level benchmarks regenerate every table and
+// figure of the paper's evaluation through the experiment registry —
+// one benchmark per paper item. Each reports the experiment's headline
+// numbers as benchmark metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// prints the full reproduced evaluation alongside the harness cost.
+// The runs use a reduced workload scale so the suite stays in benchmark
+// territory; cmd/lunule-bench runs the same experiments at full scale.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/experiment"
+)
+
+// benchOpts is the per-iteration configuration all benchmarks share.
+func benchOpts() experiment.Options {
+	return experiment.Options{Seed: 42, Scale: 0.25, MaxTicks: 4000}
+}
+
+// runExperiment executes the experiment once per benchmark iteration
+// and reports the requested values as benchmark metrics.
+func runExperiment(b *testing.B, id string, metrics map[string]string) {
+	b.Helper()
+	var last *experiment.Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Run(id, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for key, unit := range metrics {
+		if v, ok := last.Values[key]; ok {
+			b.ReportMetric(v, unit)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	runExperiment(b, "table1", map[string]string{
+		"CNN.ratio": "CNN-meta-ratio",
+		"NLP.ratio": "NLP-meta-ratio",
+		"Web.ratio": "Web-meta-ratio",
+	})
+}
+
+func BenchmarkFig2(b *testing.B) {
+	runExperiment(b, "fig2", map[string]string{
+		"CNN.maxShare": "CNN-max-share",
+		"CNN.maxMin":   "CNN-max/min",
+	})
+}
+
+func BenchmarkFig3(b *testing.B) {
+	runExperiment(b, "fig3", map[string]string{
+		"CNN.mds1.mean": "CNN-MDS1-IOPS",
+	})
+}
+
+func BenchmarkFig4(b *testing.B) {
+	runExperiment(b, "fig4", map[string]string{
+		"Zipf.ratio": "Zipf-migr-ratio",
+		"CNN.ratio":  "CNN-migr-ratio",
+	})
+}
+
+func BenchmarkFig6(b *testing.B) {
+	runExperiment(b, "fig6", map[string]string{
+		"CNN/Lunule.meanIF":      "CNN-Lunule-IF",
+		"CNN/Vanilla.meanIF":     "CNN-Vanilla-IF",
+		"CNN/GreedySpill.meanIF": "CNN-Greedy-IF",
+	})
+}
+
+func BenchmarkFig7(b *testing.B) {
+	runExperiment(b, "fig7", map[string]string{
+		"CNN.lunule-vs-Vanilla":     "CNN-speedup-vs-vanilla",
+		"NLP.lunule-vs-Vanilla":     "NLP-speedup-vs-vanilla",
+		"CNN.lunule-vs-GreedySpill": "CNN-speedup-vs-greedy",
+	})
+}
+
+func BenchmarkFig8(b *testing.B) {
+	runExperiment(b, "fig8", map[string]string{
+		"CNN.speedup":  "CNN-e2e-speedup",
+		"Zipf.speedup": "Zipf-e2e-speedup",
+	})
+}
+
+func BenchmarkFig9(b *testing.B) {
+	runExperiment(b, "fig9", map[string]string{
+		"Vanilla.meanIF": "mixed-Vanilla-IF",
+		"Lunule.meanIF":  "mixed-Lunule-IF",
+	})
+}
+
+func BenchmarkFig10(b *testing.B) {
+	runExperiment(b, "fig10", map[string]string{
+		"meanSpeedup": "mixed-mean-speedup",
+	})
+}
+
+func BenchmarkFig11(b *testing.B) {
+	runExperiment(b, "fig11", map[string]string{
+		"tailImprovement": "mixed-p99-improvement",
+	})
+}
+
+func BenchmarkFig12a(b *testing.B) {
+	runExperiment(b, "fig12a", map[string]string{
+		"phase1": "IOPS-4mds",
+		"phase2": "IOPS-5mds",
+		"phase3": "IOPS-6mds",
+	})
+}
+
+func BenchmarkFig12b(b *testing.B) {
+	runExperiment(b, "fig12b", map[string]string{
+		"phase1.rebalances": "phase1-rebalances",
+		"phase4.iops":       "phase4-IOPS",
+	})
+}
+
+func BenchmarkFig13a(b *testing.B) {
+	runExperiment(b, "fig13a", map[string]string{
+		"mds16.peak":       "peak-IOPS-16mds",
+		"mds16.efficiency": "efficiency-16mds",
+	})
+}
+
+func BenchmarkFig13b(b *testing.B) {
+	runExperiment(b, "fig13b", map[string]string{
+		"lunule-vs-dirhash": "lunule-vs-dirhash",
+	})
+}
+
+func BenchmarkFig14(b *testing.B) {
+	runExperiment(b, "fig14", map[string]string{
+		"dirhash-fwd-vs-vanilla": "dirhash-fwd-ratio",
+		"Dir-Hash.inodeSpread":   "dirhash-inode-spread",
+	})
+}
+
+func BenchmarkAblation(b *testing.B) {
+	runExperiment(b, "ablation", map[string]string{
+		"urgency/urgency off.rebalances": "benign-rebalances-ablated",
+		"urgency/full Lunule.rebalances": "benign-rebalances-full",
+	})
+}
+
+func BenchmarkHetero(b *testing.B) {
+	runExperiment(b, "hetero", map[string]string{
+		"mid-run degradation/Lunule.mean":  "degraded-Lunule-IOPS",
+		"mid-run degradation/Vanilla.mean": "degraded-Vanilla-IOPS",
+	})
+}
+
+func BenchmarkSharedDir(b *testing.B) {
+	runExperiment(b, "shareddir", map[string]string{
+		"lunule-vs-vanilla": "shared-dir-speedup",
+		"Lunule.frags":      "shared-dir-fragments",
+	})
+}
+
+func BenchmarkOverhead(b *testing.B) {
+	runExperiment(b, "overhead", map[string]string{
+		"mds16.lunule.outKB":         "perMDS-out-KB",
+		"mds16.lunule.initiatorInKB": "initiator-in-KB",
+	})
+}

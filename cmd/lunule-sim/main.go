@@ -1,0 +1,189 @@
+// Command lunule-sim runs a single simulated CephFS metadata cluster
+// with a chosen workload and balancer and prints its dynamics: per-MDS
+// throughput, imbalance-factor series, migration counts, and job
+// completion times.
+//
+//	lunule-sim -workload zipf -balancer lunule -mds 5 -clients 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/experiment"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		wl        = flag.String("workload", "Zipf", "workload: CNN, NLP, Web, Zipf, MD, Mixed")
+		bal       = flag.String("balancer", "Lunule", "balancer: Vanilla, GreedySpill, Lunule-Light, Lunule, Dir-Hash")
+		mdsN      = flag.Int("mds", 5, "number of metadata servers")
+		clients   = flag.Int("clients", 40, "number of clients")
+		rate      = flag.Float64("rate", 150, "client op rate (ops per second)")
+		capacity  = flag.Int("capacity", 2000, "per-MDS capacity (ops per second)")
+		scale     = flag.Float64("scale", 1.0, "workload scale factor")
+		seed      = flag.Uint64("seed", 42, "random seed")
+		ticks     = flag.Int64("maxticks", 6000, "simulated-tick budget")
+		data      = flag.Bool("data", false, "enable the OSD data path")
+		csvPath   = flag.String("csv", "", "write per-tick series to this CSV file")
+		ifCSV     = flag.String("ifcsv", "", "write the per-epoch imbalance series to this CSV file")
+		traceFile = flag.String("tracefile", "", "replay this op trace instead of a synthetic workload (see lunule-trace -export)")
+		pins      = flag.String("pin", "", "comma-separated static subtree pins, e.g. /zipf/client000=1,/web=2 (ceph.dir.pin)")
+	)
+	flag.Parse()
+
+	name := canonical(*wl)
+	var gen workload.Generator
+	nClients := *clients
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+		tf, err := workload.ParseTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+		gen = tf
+		nClients = tf.Clients()
+		name = "Trace(" + *traceFile + ")"
+	} else {
+		gen = experiment.MakeWorkload(name, *scale)
+	}
+	c, err := cluster.New(cluster.Config{
+		MDS:        *mdsN,
+		Capacity:   *capacity,
+		Clients:    nClients,
+		ClientRate: *rate,
+		DataPath:   *data,
+		Seed:       *seed,
+		Balancer:   experiment.MakeBalancer(canonicalBalancer(*bal)),
+		Workload:   gen,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		os.Exit(1)
+	}
+	if *pins != "" {
+		for _, spec := range strings.Split(*pins, ",") {
+			parts := strings.SplitN(strings.TrimSpace(spec), "=", 2)
+			if len(parts) != 2 {
+				fmt.Fprintf(os.Stderr, "error: bad pin %q (want path=rank)\n", spec)
+				os.Exit(1)
+			}
+			rank, err := strconv.Atoi(parts[1])
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "error: bad pin rank %q\n", parts[1])
+				os.Exit(1)
+			}
+			if err := c.PinPath(parts[0], rank); err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+	end := c.RunUntilDone(*ticks)
+	rec := c.Metrics()
+
+	fmt.Printf("workload=%s balancer=%s mds=%d clients=%d ended at tick %d (all done: %v)\n\n",
+		name, *bal, *mdsN, nClients, end, c.Done())
+	tbl := &metrics.Table{Header: []string{"metric", "value"}}
+	tbl.Add("mean imbalance factor", fmt.Sprintf("%.3f", rec.MeanIF()))
+	tbl.Add("peak aggregate IOPS", fmt.Sprintf("%.0f", rec.PeakThroughput(10)))
+	tbl.Add("mean aggregate IOPS", fmt.Sprintf("%.0f", rec.MeanThroughput()))
+	tbl.Add("migrated inodes", fmt.Sprintf("%.0f", rec.MigratedTotal()))
+	tbl.Add("inter-MDS forwards", fmt.Sprintf("%.0f", rec.ForwardsTotal()))
+	tbl.Add("op latency mean / p99 (ticks)", fmt.Sprintf("%.2f / %.0f", rec.MeanLatency(), rec.LatencyQuantile(0.99)))
+	tbl.Add("JCT p50 / p99 (ticks)", fmt.Sprintf("%.0f / %.0f", rec.JCTQuantile(0.5), rec.JCTQuantile(0.99)))
+	tbl.Add("subtree entries", fmt.Sprintf("%d", c.Partition().NumEntries()))
+	fmt.Print(tbl.String())
+
+	fmt.Println("\nimbalance factor over time:")
+	fmt.Printf("  %s  %s\n", metrics.Sparkline(&rec.IF, 40), metrics.FormatSeries(&rec.IF, 8))
+	fmt.Println("per-MDS IOPS over time (shared scale):")
+	maxIOPS := 0.0
+	for _, s := range rec.PerMDS {
+		if m := s.MaxValue(); m > maxIOPS {
+			maxIOPS = m
+		}
+	}
+	for i, s := range rec.PerMDS {
+		fmt.Printf("  MDS-%d %s  %s\n", i+1,
+			metrics.SparklineScaled(s, 40, maxIOPS), metrics.FormatSeries(s, 8))
+	}
+	fmt.Println("aggregate IOPS over time:")
+	fmt.Printf("  %s\n", metrics.Sparkline(&rec.Agg, 40))
+
+	if *csvPath != "" {
+		if err := writeCSV(*csvPath, rec.WriteCSV); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nper-tick series written to %s\n", *csvPath)
+	}
+	if *ifCSV != "" {
+		if err := writeCSV(*ifCSV, rec.WriteEpochCSV); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("imbalance series written to %s\n", *ifCSV)
+	}
+}
+
+func writeCSV(path string, emit func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := emit(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func canonical(w string) string {
+	switch strings.ToLower(w) {
+	case "cnn":
+		return "CNN"
+	case "nlp":
+		return "NLP"
+	case "web":
+		return "Web"
+	case "zipf":
+		return "Zipf"
+	case "md", "mdtest":
+		return "MD"
+	case "mixed":
+		return "Mixed"
+	default:
+		return w
+	}
+}
+
+func canonicalBalancer(b string) string {
+	switch strings.ToLower(b) {
+	case "vanilla", "cephfs", "cephfs-vanilla":
+		return "Vanilla"
+	case "greedyspill", "greedy":
+		return "GreedySpill"
+	case "lunule-light", "light":
+		return "Lunule-Light"
+	case "lunule":
+		return "Lunule"
+	case "dir-hash", "dirhash", "hash":
+		return "Dir-Hash"
+	default:
+		return b
+	}
+}

@@ -1,0 +1,47 @@
+// Cluster expansion (§4.5 of the paper): a 4-MDS cluster runs the
+// Zipfian workload under Lunule; one MDS joins at tick 100 and another
+// at tick 200. The balancer must migrate load onto the newcomers and
+// raise the aggregate throughput.
+//
+//	go run ./examples/expansion
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+func main() {
+	c, err := cluster.New(cluster.Config{
+		MDS:      4,
+		Clients:  60, // demand exceeds four MDSs' capacity
+		Balancer: core.NewDefault(),
+		Workload: workload.NewZipf(workload.ZipfConfig{
+			FilesPerClient: 1000,
+			OpsPerClient:   60000,
+		}),
+		Seed: 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	c.ScheduleAddMDS(100, 1)
+	c.ScheduleAddMDS(200, 1)
+	c.RunUntilDone(4000)
+	rec := c.Metrics()
+
+	fmt.Printf("run finished at tick %d with %d MDSs\n\n", c.Tick(), len(c.Servers()))
+	fmt.Println("aggregate IOPS over time (MDS joins at ticks 100 and 200):")
+	fmt.Println("  " + metrics.FormatSeries(&rec.Agg, 14))
+	fmt.Println("\nper-MDS IOPS over time:")
+	for i, s := range rec.PerMDS {
+		fmt.Printf("  MDS-%d: %s\n", i+1, metrics.FormatSeries(s, 12))
+	}
+	fmt.Printf("\nmigrated inodes: %.0f; mean IF: %.3f\n",
+		rec.MigratedTotal(), rec.MeanIF())
+}

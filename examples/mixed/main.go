@@ -1,0 +1,70 @@
+// Mixed workload (§4.4 of the paper): 40 clients split into four
+// groups running CNN pre-processing, NLP training, web trace replay,
+// and Zipfian reads side by side. Compares the built-in balancer with
+// Lunule on balance, throughput, and the completion-time tail.
+//
+//	go run ./examples/mixed
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/balancer"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+func main() {
+	mix := func() workload.Generator {
+		return workload.NewMixed(
+			workload.NewCNN(workload.CNNConfig{Dirs: 300, FilesPerDir: 32}),
+			workload.NewNLP(workload.NLPConfig{FilesPerDir: 400}),
+			workload.NewWeb(workload.WebConfig{}),
+			workload.NewZipf(workload.ZipfConfig{}),
+		)
+	}
+	type outcome struct {
+		name  string
+		rec   *metrics.Recorder
+		ticks int64
+	}
+	var outs []outcome
+	for _, bal := range []balancer.Balancer{balancer.NewVanilla(), core.NewDefault()} {
+		c, err := cluster.New(cluster.Config{
+			Clients:  40,
+			Balancer: bal,
+			Workload: mix(),
+			Seed:     7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		c.RunUntilDone(8000)
+		outs = append(outs, outcome{bal.Name(), c.Metrics(), c.Tick()})
+	}
+
+	tbl := &metrics.Table{Header: []string{
+		"balancer", "mean IF", "mean IOPS", "JCT p50", "JCT p80", "JCT p99", "run ticks",
+	}}
+	for _, o := range outs {
+		tbl.Add(o.name,
+			fmt.Sprintf("%.3f", o.rec.MeanIF()),
+			fmt.Sprintf("%.0f", o.rec.MeanThroughput()),
+			fmt.Sprintf("%.0f", o.rec.JCTQuantile(0.5)),
+			fmt.Sprintf("%.0f", o.rec.JCTQuantile(0.8)),
+			fmt.Sprintf("%.0f", o.rec.JCTQuantile(0.99)),
+			fmt.Sprintf("%d", o.ticks))
+	}
+	fmt.Print(tbl.String())
+	fmt.Println("\ncompletion-time CDF points (fraction of clients done by tick):")
+	for _, o := range outs {
+		fmt.Printf("  %s:", o.name)
+		for _, q := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
+			fmt.Printf("  %.0f%%=%.0f", q*100, o.rec.JCTQuantile(q))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,47 @@
+// Quickstart: simulate a 5-MDS CephFS metadata cluster serving the
+// Filebench-Zipfian workload, once with the CephFS built-in balancer
+// and once with Lunule, and compare balance and throughput.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/balancer"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+func main() {
+	for _, bal := range []balancer.Balancer{balancer.NewVanilla(), core.NewDefault()} {
+		c, err := cluster.New(cluster.Config{
+			MDS:      5,
+			Clients:  40,
+			Balancer: bal,
+			Workload: workload.NewZipf(workload.ZipfConfig{
+				FilesPerClient: 1000,
+				OpsPerClient:   20000,
+			}),
+			Seed: 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		end := c.RunUntilDone(5000)
+		rec := c.Metrics()
+
+		fmt.Printf("=== %s ===\n", bal.Name())
+		fmt.Printf("  finished at tick %d (all clients done: %v)\n", end, c.Done())
+		fmt.Printf("  mean imbalance factor: %.3f\n", rec.MeanIF())
+		fmt.Printf("  aggregate IOPS (mean/peak): %.0f / %.0f\n",
+			rec.MeanThroughput(), rec.PeakThroughput(10))
+		fmt.Printf("  migrated inodes: %.0f\n", rec.MigratedTotal())
+		fmt.Printf("  job completion p50/p99: %.0f / %.0f ticks\n",
+			rec.JCTQuantile(0.5), rec.JCTQuantile(0.99))
+		fmt.Printf("  IF over time: %s\n\n", metrics.FormatSeries(&rec.IF, 10))
+	}
+}

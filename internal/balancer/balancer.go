@@ -1,0 +1,103 @@
+// Package balancer defines the load-balancer interface the simulated
+// MDS cluster drives once per epoch, plus the three baseline policies
+// the paper evaluates against: the CephFS built-in balancer (Vanilla),
+// the GreedySpill policy from GIGA+/Mantle, and the static Dir-Hash
+// pinning scheme. The paper's own balancer (Lunule) lives in
+// internal/core and implements the same interface.
+package balancer
+
+import (
+	"repro/internal/mds"
+	"repro/internal/msg"
+	"repro/internal/namespace"
+	"repro/internal/rng"
+)
+
+// View is the cluster state a balancer sees at an epoch boundary. Load
+// histories have already been updated for the epoch that just ended.
+type View interface {
+	// Tick is the current simulation tick (seconds).
+	Tick() int64
+	// Epoch is the index of the epoch that just ended.
+	Epoch() int64
+	// EpochTicks is the epoch length in ticks.
+	EpochTicks() int
+	// NumMDS returns the current cluster size.
+	NumMDS() int
+	// Server returns the MDS with the given rank.
+	Server(id namespace.MDSID) *mds.Server
+	// Partition is the live subtree partition (balancers mutate it via
+	// Carve/SplitEntry before submitting migrations).
+	Partition() *namespace.Partition
+	// Migrator accepts export tasks.
+	Migrator() *mds.Migrator
+	// Capacity is the theoretical maximum IOPS of a single MDS (the
+	// paper's C).
+	Capacity() float64
+	// HeatDecay is the per-epoch popularity decay factor in (0, 1].
+	HeatDecay() float64
+	// Rand is a deterministic per-run random source for tie-breaking.
+	Rand() *rng.Source
+	// Ledger accounts control-plane message traffic.
+	Ledger() *msg.Ledger
+}
+
+// Balancer decides, once per epoch, whether and what to migrate.
+type Balancer interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// Rebalance inspects the view and submits export tasks.
+	Rebalance(v View)
+}
+
+// HeatPerIOPS converts a load amount in ops/sec into popularity (heat)
+// units: heat accumulates one unit per op and decays once per epoch, so
+// a steady load L contributes about L*epochTicks/(1-decay) heat.
+func HeatPerIOPS(v View) float64 {
+	d := v.HeatDecay()
+	if d >= 1 {
+		d = 0.99
+	}
+	return float64(v.EpochTicks()) / (1 - d)
+}
+
+// Loads returns the per-MDS loads (ops/sec) of the last epoch.
+func Loads(v View) []float64 {
+	out := make([]float64, v.NumMDS())
+	for i := range out {
+		out[i] = v.Server(namespace.MDSID(i)).CurrentLoad()
+	}
+	return out
+}
+
+// SmoothedLoads returns the mean of each MDS's last k epoch loads —
+// the decayed view the CephFS built-in balancer effectively works from
+// (its popularity counters age over minutes, not one epoch).
+func SmoothedLoads(v View, k int) []float64 {
+	out := make([]float64, v.NumMDS())
+	for i := range out {
+		h := v.Server(namespace.MDSID(i)).LoadHistory()
+		if len(h) == 0 {
+			continue
+		}
+		n := k
+		if n > len(h) {
+			n = len(h)
+		}
+		sum := 0.0
+		for _, l := range h[len(h)-n:] {
+			sum += l
+		}
+		out[i] = sum / float64(n)
+	}
+	return out
+}
+
+// LoadHistories returns each MDS's per-epoch load history.
+func LoadHistories(v View) [][]float64 {
+	out := make([][]float64, v.NumMDS())
+	for i := range out {
+		out[i] = v.Server(namespace.MDSID(i)).LoadHistory()
+	}
+	return out
+}

@@ -1,0 +1,205 @@
+package balancer
+
+import (
+	"sort"
+
+	"repro/internal/namespace"
+)
+
+// Candidate is a movable unit of namespace: either an existing subtree
+// entry or a directory that can be carved into one. Load is the
+// policy-specific estimate of the load the unit carries (heat for the
+// CephFS policy, migration index for Lunule).
+type Candidate struct {
+	// Key is set for existing partition entries.
+	Key namespace.FragKey
+	// Dir is set for carve candidates (directories that are not yet
+	// subtree roots). Exactly one of Key/Dir is meaningful; IsEntry
+	// discriminates.
+	Dir     *namespace.Inode
+	IsEntry bool
+	Load    float64
+}
+
+// RootDir returns the directory inode number the candidate is rooted at.
+func (c Candidate) RootDir() namespace.Ino {
+	if c.IsEntry {
+		return c.Key.Dir
+	}
+	return c.Dir.Ino
+}
+
+// LoadFuncs supplies the policy-specific load estimators used during
+// candidate enumeration.
+type LoadFuncs struct {
+	// OfKey estimates the load of an existing subtree entry.
+	OfKey func(namespace.FragKey) float64
+	// OfDir estimates the load of the subtree rooted at a directory.
+	OfDir func(*namespace.Inode) float64
+}
+
+// Enumerate lists the migration candidates an exporter can offer:
+// its subtree entries, adaptively refined into child directories while
+// a candidate's load exceeds refineAbove (so hotspots are broken into
+// movable pieces) and the candidate count stays below limit. Subtrees
+// that are frozen by in-flight migrations or already planned for export
+// are skipped. The root entry is always refined, never offered whole.
+func Enumerate(v View, exporter namespace.MDSID, lf LoadFuncs, refineAbove float64, limit int) []Candidate {
+	part := v.Partition()
+	skip := v.Migrator().PendingFor(exporter)
+	tree := part.Tree()
+
+	var cands []Candidate
+	add := func(c Candidate) { cands = append(cands, c) }
+
+	// childDirs lists the sub-directories inside a candidate that are
+	// not already subtree roots of their own.
+	childDirs := func(dir *namespace.Inode, frag namespace.Frag) []*namespace.Inode {
+		var out []*namespace.Inode
+		for _, ch := range dir.ChildrenInFrag(frag) {
+			if ch.IsDir && len(part.EntriesAt(ch.Ino)) == 0 {
+				out = append(out, ch)
+			}
+		}
+		return out
+	}
+
+	rootKey := namespace.FragKey{Dir: namespace.RootIno, Frag: namespace.WholeFrag}
+	for _, e := range part.EntriesOf(exporter) {
+		if skip[e.Key] || v.Migrator().IsFrozen(e.Key) {
+			continue
+		}
+		if e.Key == rootKey {
+			// Never move the root subtree whole; offer its children.
+			for _, ch := range childDirs(tree.Root(), namespace.WholeFrag) {
+				add(Candidate{Dir: ch, Load: lf.OfDir(ch)})
+			}
+			continue
+		}
+		add(Candidate{Key: e.Key, IsEntry: true, Load: lf.OfKey(e.Key)})
+	}
+
+	// Adaptive refinement: break the heaviest refinable candidate into
+	// its child directories until everything is small enough.
+	for len(cands) < limit {
+		best := -1
+		for i, c := range cands {
+			if c.Load <= refineAbove {
+				continue
+			}
+			var dir *namespace.Inode
+			var frag namespace.Frag
+			if c.IsEntry {
+				dir = tree.Get(c.Key.Dir)
+				frag = c.Key.Frag
+			} else {
+				dir = c.Dir
+				frag = namespace.WholeFrag
+			}
+			if dir == nil || len(childDirs(dir, frag)) == 0 {
+				continue
+			}
+			if best == -1 || c.Load > cands[best].Load {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		c := cands[best]
+		var dir *namespace.Inode
+		var frag namespace.Frag
+		if c.IsEntry {
+			dir = tree.Get(c.Key.Dir)
+			frag = c.Key.Frag
+		} else {
+			dir = c.Dir
+			frag = namespace.WholeFrag
+		}
+		cands = append(cands[:best], cands[best+1:]...)
+		for _, ch := range childDirs(dir, frag) {
+			add(Candidate{Dir: ch, Load: lf.OfDir(ch)})
+		}
+	}
+
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].Load != cands[j].Load {
+			return cands[i].Load > cands[j].Load
+		}
+		return cands[i].RootDir() < cands[j].RootDir()
+	})
+	return cands
+}
+
+// SubmitCandidate carves the candidate if necessary and enqueues its
+// export from exporter to importer. It returns false when the
+// candidate could not be converted into a migratable entry.
+func SubmitCandidate(v View, c Candidate, exporter, importer namespace.MDSID) bool {
+	part := v.Partition()
+	key := c.Key
+	if !c.IsEntry {
+		if c.Dir == nil || len(part.EntriesAt(c.Dir.Ino)) > 0 {
+			return false
+		}
+		key = part.Carve(c.Dir).Key
+	}
+	if e, ok := part.EntryAt(key); !ok || e.Auth != exporter {
+		return false
+	}
+	v.Migrator().Submit(key, exporter, importer, c.Load, v.Tick())
+	return true
+}
+
+// HeatSelect picks the candidates whose accumulated heat covers the
+// given fraction of the exporter's total candidate heat, hottest first.
+// Expressing the target as a fraction of the exporter's own heat keeps
+// the amount and the per-subtree values in the same (decayed-counter)
+// units, as in CephFS, where the balancer's load metric and the subtree
+// popularity are the same counter.
+func HeatSelect(v View, exporter namespace.MDSID, fraction float64, limit int) []Candidate {
+	if fraction <= 0 {
+		return nil
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	s := v.Server(exporter)
+	lf := LoadFuncs{
+		OfKey: func(k namespace.FragKey) float64 { return s.HeatOfKey(k) },
+		OfDir: func(d *namespace.Inode) float64 { return s.HeatOfDir(d.Ino) },
+	}
+	// First pass: coarse candidates to size the exporter's total heat.
+	coarse := Enumerate(v, exporter, lf, 1e300, limit)
+	total := 0.0
+	for _, c := range coarse {
+		total += c.Load
+	}
+	target := fraction * total
+	if target <= 0 {
+		return nil
+	}
+	// Second pass: refine anything bigger than the target into movable
+	// pieces, then fill hottest-first.
+	cands := Enumerate(v, exporter, lf, target, limit)
+	return GreedyFill(cands, target)
+}
+
+// GreedyFill picks candidates in descending-load order until their
+// loads sum to at least target (overshooting by at most the final
+// pick), mirroring how the CephFS built-in balancer fills its export
+// amount from the hottest dirfrags down.
+func GreedyFill(cands []Candidate, target float64) []Candidate {
+	var out []Candidate
+	sum := 0.0
+	for _, c := range cands {
+		if sum >= target {
+			break
+		}
+		if c.Load <= 0 {
+			break
+		}
+		out = append(out, c)
+		sum += c.Load
+	}
+	return out
+}

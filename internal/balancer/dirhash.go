@@ -1,0 +1,75 @@
+package balancer
+
+import (
+	"repro/internal/namespace"
+)
+
+// DirHash simulates the hash-based metadata distribution of §4.6: the
+// namespace is split into fine-grained subtrees (directories at a fixed
+// depth) that are statically pinned to MDS ranks by name hash, and no
+// dynamic migration ever happens. Inodes spread evenly, but requests do
+// not — and path traversal crosses many authority boundaries, inflating
+// forwards (Figure 14).
+type DirHash struct {
+	// MaxDepth bounds how deep the pinner descends; a directory is
+	// pinned when it has no sub-directories (a leaf, the finest
+	// grain) or when it sits at MaxDepth.
+	MaxDepth int
+
+	pinnedVersion uint64
+	initialized   bool
+}
+
+// NewDirHash returns the static pinning policy.
+func NewDirHash() *DirHash { return &DirHash{MaxDepth: 4} }
+
+// Name implements Balancer.
+func (b *DirHash) Name() string { return "Dir-Hash" }
+
+// Rebalance implements Balancer: on every epoch it (re)pins any
+// directories at the pin depth that are not yet subtree roots — new
+// directories appear when workloads create them — and performs no load
+// balancing whatsoever.
+func (b *DirHash) Rebalance(v View) {
+	v.Ledger().EpochVanilla(v.NumMDS()) // stock heartbeat still runs
+	b.pin(v)
+}
+
+func (b *DirHash) pin(v View) {
+	part := v.Partition()
+	tree := part.Tree()
+	n := v.NumMDS()
+	if n == 0 {
+		return
+	}
+	pin := func(ch *namespace.Inode) {
+		if len(part.EntriesAt(ch.Ino)) == 0 {
+			e := part.Carve(ch)
+			target := namespace.MDSID(int(namespace.HashName(ch.Path())) % n)
+			part.SetAuth(e.Key, target)
+		}
+	}
+	var walk func(dir *namespace.Inode, depth int)
+	walk = func(dir *namespace.Inode, depth int) {
+		for _, ch := range dir.Children() {
+			if !ch.IsDir {
+				continue
+			}
+			hasSubdirs := false
+			for _, g := range ch.Children() {
+				if g.IsDir {
+					hasSubdirs = true
+					break
+				}
+			}
+			if !hasSubdirs || depth+1 >= b.MaxDepth {
+				pin(ch)
+				continue
+			}
+			walk(ch, depth+1)
+		}
+	}
+	walk(tree.Root(), 0)
+	b.initialized = true
+	b.pinnedVersion = part.Version()
+}

@@ -1,0 +1,49 @@
+package balancer
+
+import (
+	"repro/internal/namespace"
+)
+
+// GreedySpill is the GIGA+-derived policy the paper runs through the
+// Mantle framework: whenever an MDS has load and its neighbour (next
+// rank, wrapping) has none, it spills half of its load to that
+// neighbour. It uses only local information — no global view, no
+// urgency — which is why the paper measures it as the worst balancer
+// (IF close to 1 on most workloads).
+type GreedySpill struct {
+	// IdleThreshold is the load below which the neighbour counts as
+	// idle (ops/sec).
+	IdleThreshold float64
+	// CandidateLimit bounds candidate enumeration.
+	CandidateLimit int
+}
+
+// NewGreedySpill returns the policy with the Mantle defaults.
+func NewGreedySpill() *GreedySpill {
+	return &GreedySpill{IdleThreshold: 1, CandidateLimit: 64}
+}
+
+// Name implements Balancer.
+func (b *GreedySpill) Name() string { return "GreedySpill" }
+
+// Rebalance implements Balancer.
+func (b *GreedySpill) Rebalance(v View) {
+	n := v.NumMDS()
+	v.Ledger().EpochVanilla(n) // Mantle runs inside the stock heartbeat exchange
+
+	loads := Loads(v)
+	for i := 0; i < n; i++ {
+		ex := namespace.MDSID(i)
+		neighbour := namespace.MDSID((i + 1) % n)
+		if neighbour == ex {
+			continue
+		}
+		if loads[i] <= b.IdleThreshold || loads[neighbour] > b.IdleThreshold {
+			continue
+		}
+		// Ship half of my load to the idle neighbour.
+		for _, c := range HeatSelect(v, ex, 0.5, b.CandidateLimit) {
+			SubmitCandidate(v, c, ex, neighbour)
+		}
+	}
+}

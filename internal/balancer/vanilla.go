@@ -1,0 +1,92 @@
+package balancer
+
+import (
+	"repro/internal/namespace"
+)
+
+// Vanilla approximates the CephFS built-in metadata load balancer and
+// deliberately keeps its three inefficiencies the paper identifies:
+//
+//  1. the trigger compares each MDS's load only against the cluster
+//     average with a fixed fudge factor, so it both misses harmful gaps
+//     between heavy and light servers and fires on benign imbalance;
+//  2. the export amount is the raw load-above-average with no
+//     importer-side cap and no account of migration lag, which
+//     over-migrates and causes ping-pong;
+//  3. candidates are selected by accumulated, decayed popularity
+//     ("heat"), which tracks where load HAS been, not where it will
+//     be — invalid for scan-type workloads that never revisit files.
+type Vanilla struct {
+	// MinOffload is the fudge factor: an MDS exports only when its
+	// load exceeds avg*(1+MinOffload). CephFS uses ~0.1.
+	MinOffload float64
+	// CandidateLimit bounds candidate enumeration.
+	CandidateLimit int
+}
+
+// NewVanilla returns the CephFS built-in policy with default knobs.
+func NewVanilla() *Vanilla {
+	return &Vanilla{MinOffload: 0.1, CandidateLimit: 128}
+}
+
+// Name implements Balancer.
+func (b *Vanilla) Name() string { return "CephFS-Vanilla" }
+
+// Rebalance implements Balancer.
+func (b *Vanilla) Rebalance(v View) {
+	n := v.NumMDS()
+	v.Ledger().EpochVanilla(n)
+
+	loads := SmoothedLoads(v, 2)
+	avg := 0.0
+	for _, l := range loads {
+		avg += l
+	}
+	avg /= float64(n)
+	if avg <= 0 {
+		return
+	}
+
+	// Importers: everything below average, in ascending-load order.
+	type imp struct {
+		id   namespace.MDSID
+		room float64
+	}
+	var importers []imp
+	for i, l := range loads {
+		if l < avg {
+			importers = append(importers, imp{namespace.MDSID(i), avg - l})
+		}
+	}
+	// Ascending by load means descending by room; CephFS fills the
+	// emptiest peer first.
+	for i := 0; i < len(importers); i++ {
+		for j := i + 1; j < len(importers); j++ {
+			if importers[j].room > importers[i].room {
+				importers[i], importers[j] = importers[j], importers[i]
+			}
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		ex := namespace.MDSID(i)
+		l := loads[i]
+		if l <= avg*(1+b.MinOffload) {
+			continue
+		}
+		// Raw load-above-average, uncapped: over-migration by design.
+		fraction := (l - avg) / l
+		picked := HeatSelect(v, ex, fraction, b.CandidateLimit)
+		// Spread the picks across importers in room order.
+		for k, c := range picked {
+			if len(importers) == 0 {
+				break
+			}
+			to := importers[k%len(importers)].id
+			if to == ex {
+				continue
+			}
+			SubmitCandidate(v, c, ex, to)
+		}
+	}
+}

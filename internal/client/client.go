@@ -1,0 +1,202 @@
+// Package client models the workload-generating clients: each client
+// runs one operation stream in a closed loop — it issues its next
+// metadata op only after the previous one (and its data transfer, when
+// the data path is enabled) has completed, at a bounded per-tick rate.
+// An op routed to a saturated or frozen MDS blocks the client for the
+// rest of the tick, which is how metadata imbalance stretches job
+// completion time.
+package client
+
+import (
+	"repro/internal/namespace"
+	"repro/internal/workload"
+)
+
+// Client is one workload-driving client.
+type Client struct {
+	ID int
+
+	stream    workload.Stream
+	startTick int64
+	rate      float64 // ops per tick
+
+	credit       float64 // fractional-op accumulator
+	pending      *workload.Op
+	pendingSince int64 // tick the pending op was first attempted
+	debt         int64 // unpaid data bytes
+
+	streamDone bool
+	done       bool
+	doneTick   int64
+	opsDone    int64
+	stallTicks int64
+
+	cache authCache
+}
+
+// authCache is the client's subtree-authority cache. CephFS clients
+// learn which MDS owns which subtree and contact it directly; a request
+// is forwarded between MDSs only when the client's mapping is missing
+// or stale. The cache is a small LRU, so a namespace fragmented into
+// very many subtrees (Dir-Hash) keeps missing and keeps forwarding —
+// the effect Figure 14 measures.
+type authCache struct {
+	cap   int
+	clock int64
+	m     map[namespace.FragKey]authEnt
+}
+
+type authEnt struct {
+	auth namespace.MDSID
+	use  int64
+}
+
+// DefaultAuthCacheSize is the per-client authority cache capacity.
+const DefaultAuthCacheSize = 64
+
+// CacheLookup reports the cached authority for a subtree, if any.
+func (c *Client) CacheLookup(key namespace.FragKey) (namespace.MDSID, bool) {
+	e, ok := c.cache.m[key]
+	if !ok {
+		return 0, false
+	}
+	c.cache.clock++
+	e.use = c.cache.clock
+	c.cache.m[key] = e
+	return e.auth, true
+}
+
+// CacheStore records a freshly learned subtree authority, evicting the
+// least recently used mapping when full.
+func (c *Client) CacheStore(key namespace.FragKey, auth namespace.MDSID) {
+	if c.cache.m == nil {
+		c.cache.m = make(map[namespace.FragKey]authEnt, c.cache.cap)
+	}
+	c.cache.clock++
+	if _, ok := c.cache.m[key]; !ok && len(c.cache.m) >= c.cache.cap {
+		var oldK namespace.FragKey
+		oldUse := int64(1<<62 - 1)
+		for k, e := range c.cache.m {
+			if e.use < oldUse {
+				oldUse = e.use
+				oldK = k
+			}
+		}
+		delete(c.cache.m, oldK)
+	}
+	c.cache.m[key] = authEnt{auth: auth, use: c.cache.clock}
+}
+
+// New creates a client from its workload spec with the given base rate
+// (ops per tick before the per-client RateScale).
+func New(id int, spec workload.ClientSpec, baseRate float64) *Client {
+	rate := baseRate * spec.RateScale
+	if spec.RateScale == 0 {
+		rate = baseRate
+	}
+	if rate <= 0 {
+		rate = 1
+	}
+	return &Client{
+		ID:        id,
+		stream:    spec.Stream,
+		startTick: spec.StartTick,
+		rate:      rate,
+		cache:     authCache{cap: DefaultAuthCacheSize},
+	}
+}
+
+// StartTick returns the tick at which the client begins issuing.
+func (c *Client) StartTick() int64 { return c.startTick }
+
+// Rate returns the client's op rate per tick.
+func (c *Client) Rate() float64 { return c.rate }
+
+// Done reports whether the client has finished its job.
+func (c *Client) Done() bool { return c.done }
+
+// DoneTick returns when the client finished (valid when Done).
+func (c *Client) DoneTick() int64 { return c.doneTick }
+
+// OpsDone returns the number of completed operations.
+func (c *Client) OpsDone() int64 { return c.opsDone }
+
+// StallTicks returns how many ticks the client spent blocked.
+func (c *Client) StallTicks() int64 { return c.stallTicks }
+
+// Debt returns the unpaid data bytes blocking the client.
+func (c *Client) Debt() int64 { return c.debt }
+
+// AddDebt charges the client data bytes to move before its next op.
+func (c *Client) AddDebt(bytes int64) {
+	if bytes > 0 {
+		c.debt += bytes
+	}
+}
+
+// PayDebt credits granted bytes against the client's data debt.
+func (c *Client) PayDebt(bytes int64) {
+	c.debt -= bytes
+	if c.debt < 0 {
+		c.debt = 0
+	}
+}
+
+// AccrueCredit adds one tick's worth of rate and returns the whole
+// number of ops the client may issue this tick.
+func (c *Client) AccrueCredit() int {
+	c.credit += c.rate
+	n := int(c.credit)
+	c.credit -= float64(n)
+	// Cap the carried fraction so long stalls don't bank a burst.
+	if c.credit > c.rate {
+		c.credit = c.rate
+	}
+	return n
+}
+
+// NextOp returns the op to attempt next: the retained (stalled) op if
+// any, otherwise the next from the stream, stamping its first-attempt
+// tick. ok=false means the stream is exhausted.
+func (c *Client) NextOp(tick int64) (workload.Op, bool) {
+	if c.pending != nil {
+		return *c.pending, true
+	}
+	if c.streamDone {
+		return workload.Op{}, false
+	}
+	op, ok := c.stream.Next()
+	if !ok {
+		c.streamDone = true
+		return workload.Op{}, false
+	}
+	c.pending = &op
+	c.pendingSince = tick
+	return op, true
+}
+
+// Retain records that the current op stalled and must be retried.
+func (c *Client) Retain() { c.stallTicks++ }
+
+// CompleteOp marks the current op as served and returns its latency in
+// ticks (1 for an op served on its first attempt).
+func (c *Client) CompleteOp(tick int64) int64 {
+	lat := tick - c.pendingSince + 1
+	if lat < 1 {
+		lat = 1
+	}
+	c.pending = nil
+	c.opsDone++
+	return lat
+}
+
+// MaybeFinish marks the client done when its stream is exhausted and
+// all data debt is paid. It returns true on the transition.
+func (c *Client) MaybeFinish(tick int64) bool {
+	if c.done || !c.streamDone || c.pending != nil || c.debt > 0 {
+		return false
+	}
+	c.done = true
+	c.doneTick = tick
+	return true
+}

@@ -1,0 +1,194 @@
+package client
+
+import (
+	"testing"
+
+	"repro/internal/namespace"
+	"repro/internal/workload"
+)
+
+func specOf(ops []workload.Op, start int64, rate float64) workload.ClientSpec {
+	return workload.ClientSpec{Stream: workload.NewOpList(ops), StartTick: start, RateScale: rate}
+}
+
+func TestClientBasics(t *testing.T) {
+	ops := []workload.Op{{Kind: workload.OpLookup}, {Kind: workload.OpOpen}}
+	c := New(3, specOf(ops, 5, 1), 10)
+	if c.ID != 3 || c.StartTick() != 5 || c.Rate() != 10 {
+		t.Fatal("constructor fields")
+	}
+	if c.Done() {
+		t.Fatal("fresh client done")
+	}
+}
+
+func TestClientRateScaleAndDefaults(t *testing.T) {
+	c := New(0, specOf(nil, 0, 0.5), 100)
+	if c.Rate() != 50 {
+		t.Fatalf("rate = %v", c.Rate())
+	}
+	// Zero rate scale falls back to base rate.
+	c2 := New(0, specOf(nil, 0, 0), 100)
+	if c2.Rate() != 100 {
+		t.Fatalf("zero-scale rate = %v", c2.Rate())
+	}
+	// Degenerate rates clamp to 1.
+	c3 := New(0, specOf(nil, 0, 1), 0)
+	if c3.Rate() != 1 {
+		t.Fatalf("degenerate rate = %v", c3.Rate())
+	}
+}
+
+func TestAccrueCreditWholeAndFractional(t *testing.T) {
+	c := New(0, specOf(nil, 0, 1), 2.5)
+	if n := c.AccrueCredit(); n != 2 {
+		t.Fatalf("first tick credit = %d", n)
+	}
+	if n := c.AccrueCredit(); n != 3 { // 0.5 carried + 2.5
+		t.Fatalf("second tick credit = %d", n)
+	}
+}
+
+func TestAccrueCreditNoBanking(t *testing.T) {
+	// A long stall must not bank an unbounded burst: the carried
+	// fraction is capped at one tick's rate.
+	c := New(0, specOf(nil, 0, 1), 3)
+	for i := 0; i < 10; i++ {
+		_ = c.AccrueCredit()
+	}
+	if n := c.AccrueCredit(); n > 6 {
+		t.Fatalf("burst after stall = %d, want <= 6", n)
+	}
+}
+
+func TestNextOpRetainComplete(t *testing.T) {
+	ops := []workload.Op{{Kind: workload.OpLookup}, {Kind: workload.OpOpen}}
+	c := New(0, specOf(ops, 0, 1), 1)
+	op1, ok := c.NextOp(0)
+	if !ok || op1.Kind != workload.OpLookup {
+		t.Fatal("first op")
+	}
+	// Stall: the same op must come back.
+	c.Retain()
+	op1b, ok := c.NextOp(1)
+	if !ok || op1b.Kind != workload.OpLookup {
+		t.Fatal("retained op must repeat")
+	}
+	// Completed at tick 2 after first attempt at tick 0: latency 3.
+	if lat := c.CompleteOp(2); lat != 3 {
+		t.Fatalf("latency = %d, want 3", lat)
+	}
+	op2, ok := c.NextOp(3)
+	if !ok || op2.Kind != workload.OpOpen {
+		t.Fatal("second op")
+	}
+	// Served on its first attempt: latency 1.
+	if lat := c.CompleteOp(3); lat != 1 {
+		t.Fatalf("latency = %d, want 1", lat)
+	}
+	if _, ok := c.NextOp(4); ok {
+		t.Fatal("stream must end")
+	}
+	if c.OpsDone() != 2 || c.StallTicks() != 1 {
+		t.Fatalf("opsDone=%d stalls=%d", c.OpsDone(), c.StallTicks())
+	}
+}
+
+func TestMaybeFinish(t *testing.T) {
+	ops := []workload.Op{{Kind: workload.OpOpen}}
+	c := New(0, specOf(ops, 0, 1), 1)
+	if c.MaybeFinish(1) {
+		t.Fatal("cannot finish before the stream is drained")
+	}
+	op, _ := c.NextOp(0)
+	_ = op
+	c.CompleteOp(0)
+	if _, ok := c.NextOp(1); ok {
+		t.Fatal("stream should be done")
+	}
+	// Outstanding data debt blocks completion.
+	c.AddDebt(100)
+	if c.MaybeFinish(7) {
+		t.Fatal("cannot finish with data debt")
+	}
+	c.PayDebt(100)
+	if !c.MaybeFinish(9) {
+		t.Fatal("should finish")
+	}
+	if c.DoneTick() != 9 || !c.Done() {
+		t.Fatal("done bookkeeping")
+	}
+	if c.MaybeFinish(10) {
+		t.Fatal("finish must fire exactly once")
+	}
+}
+
+func TestDebtAccounting(t *testing.T) {
+	c := New(0, specOf(nil, 0, 1), 1)
+	c.AddDebt(100)
+	c.AddDebt(-5) // ignored
+	if c.Debt() != 100 {
+		t.Fatalf("debt = %d", c.Debt())
+	}
+	c.PayDebt(30)
+	if c.Debt() != 70 {
+		t.Fatalf("debt = %d", c.Debt())
+	}
+	c.PayDebt(1000)
+	if c.Debt() != 0 {
+		t.Fatal("overpayment must clamp at zero")
+	}
+}
+
+func TestAuthCacheLRU(t *testing.T) {
+	c := New(0, specOf(nil, 0, 1), 1)
+	key := func(i int) namespace.FragKey {
+		return namespace.FragKey{Dir: namespace.Ino(i + 10), Frag: namespace.WholeFrag}
+	}
+	// Fill beyond capacity.
+	for i := 0; i < DefaultAuthCacheSize+10; i++ {
+		c.CacheStore(key(i), namespace.MDSID(i%5))
+	}
+	// The oldest entries were evicted.
+	if _, ok := c.CacheLookup(key(0)); ok {
+		t.Fatal("oldest entry should be evicted")
+	}
+	// The newest survive with their authority.
+	last := DefaultAuthCacheSize + 9
+	auth, ok := c.CacheLookup(key(last))
+	if !ok || auth != namespace.MDSID(last%5) {
+		t.Fatalf("newest entry lost: ok=%v auth=%v", ok, auth)
+	}
+}
+
+func TestAuthCacheLRUTouchOnLookup(t *testing.T) {
+	c := New(0, specOf(nil, 0, 1), 1)
+	key := func(i int) namespace.FragKey {
+		return namespace.FragKey{Dir: namespace.Ino(i + 10), Frag: namespace.WholeFrag}
+	}
+	for i := 0; i < DefaultAuthCacheSize; i++ {
+		c.CacheStore(key(i), 0)
+	}
+	// Touch key 0 so it becomes most-recent, then overflow by one.
+	if _, ok := c.CacheLookup(key(0)); !ok {
+		t.Fatal("key 0 should be cached")
+	}
+	c.CacheStore(key(DefaultAuthCacheSize), 1)
+	if _, ok := c.CacheLookup(key(0)); !ok {
+		t.Fatal("recently used entry must survive eviction")
+	}
+	if _, ok := c.CacheLookup(key(1)); ok {
+		t.Fatal("least recently used entry must be evicted")
+	}
+}
+
+func TestCacheUpdateExistingKey(t *testing.T) {
+	c := New(0, specOf(nil, 0, 1), 1)
+	k := namespace.FragKey{Dir: 42, Frag: namespace.WholeFrag}
+	c.CacheStore(k, 1)
+	c.CacheStore(k, 3)
+	auth, ok := c.CacheLookup(k)
+	if !ok || auth != 3 {
+		t.Fatal("update must overwrite the cached authority")
+	}
+}

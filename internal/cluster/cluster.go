@@ -1,0 +1,426 @@
+// Package cluster wires the simulator together: it builds the
+// namespace, the MDS servers, the migration engine, the clients, and a
+// balancer, then advances the whole system tick by tick (one tick = one
+// second; the balancer runs every epoch, ten ticks by default, as in
+// the paper). It also implements the cluster dynamics the evaluation
+// exercises: MDS addition at runtime and staged client growth.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/balancer"
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/mds"
+	"repro/internal/metrics"
+	"repro/internal/msg"
+	"repro/internal/namespace"
+	"repro/internal/osd"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Config describes one simulated deployment.
+type Config struct {
+	// MDS is the initial number of metadata servers.
+	MDS int
+	// Capacity is each MDS's maximum metadata ops per tick (the
+	// paper's C, in IOPS since a tick is one second).
+	Capacity int
+	// PerMDSCapacity optionally overrides Capacity per rank
+	// (heterogeneous hardware; the IF model still assumes the uniform
+	// C — the paper calls handling heterogeneity orthogonal, and the
+	// "hetero" experiment measures what that assumption costs).
+	PerMDSCapacity []int
+	// EpochTicks is the balancing epoch length (paper default: 10 s).
+	EpochTicks int
+	// MigrationRate is how many inodes an exporter ships per tick.
+	MigrationRate int
+	// MaxActiveExports bounds concurrent exports per exporter.
+	MaxActiveExports int
+	// QueueTTLTicks expires queued (unstarted) export tasks.
+	QueueTTLTicks int64
+	// ExportLatencyTicks is the fixed two-phase-commit floor cost of
+	// one export, regardless of subtree size.
+	ExportLatencyTicks int64
+	// HeatDecay is the per-epoch popularity decay (CephFS-style).
+	HeatDecay float64
+	// HistoryWindows is the trace collector depth (cutting windows).
+	HistoryWindows int
+	// Clients is the number of workload clients.
+	Clients int
+	// ClientRate is the base ops per tick per client.
+	ClientRate float64
+	// DataPath enables the OSD data path (end-to-end experiments).
+	DataPath bool
+	// OSDs is the data pool size when DataPath is on.
+	OSDs int
+	// OSDBandwidth is bytes per tick per OSD.
+	OSDBandwidth int64
+	// Seed drives all randomness in the run.
+	Seed uint64
+	// Balancer is the policy under test.
+	Balancer balancer.Balancer
+	// Workload generates the namespace and the client op streams.
+	Workload workload.Generator
+}
+
+func (c *Config) defaults() {
+	if c.MDS == 0 {
+		c.MDS = 5
+	}
+	if c.Capacity == 0 {
+		c.Capacity = 2000
+	}
+	if c.EpochTicks == 0 {
+		c.EpochTicks = 10
+	}
+	if c.MigrationRate == 0 {
+		c.MigrationRate = 2000
+	}
+	if c.MaxActiveExports == 0 {
+		c.MaxActiveExports = 2
+	}
+	if c.QueueTTLTicks == 0 {
+		c.QueueTTLTicks = 20
+	}
+	if c.ExportLatencyTicks == 0 {
+		c.ExportLatencyTicks = 4
+	}
+	if c.HeatDecay == 0 {
+		// Slow decay: the accumulated popularity counter the paper
+		// criticizes — heat keeps ranking already-scanned (dead)
+		// subtrees above the live scan front for minutes.
+		c.HeatDecay = 0.97
+	}
+	if c.HistoryWindows == 0 {
+		c.HistoryWindows = 6
+	}
+	if c.Clients == 0 {
+		c.Clients = 40
+	}
+	if c.ClientRate == 0 {
+		c.ClientRate = 150
+	}
+	if c.OSDs == 0 {
+		c.OSDs = 6
+	}
+	if c.OSDBandwidth == 0 {
+		c.OSDBandwidth = 64 << 20 // 64 MB per OSD per tick
+	}
+}
+
+// Cluster is one live simulation.
+type Cluster struct {
+	cfg Config
+
+	tree     *namespace.Tree
+	part     *namespace.Partition
+	servers  []*mds.Server
+	migrator *mds.Migrator
+	clients  []*client.Client
+	osds     *osd.Pool
+	ledger   *msg.Ledger
+	rand     *rng.Source
+	rec      *metrics.Recorder
+
+	tick     int64
+	forwards int64
+	doneN    int
+
+	// events holds scheduled cluster mutations (MDS additions,
+	// capacity changes), fired at the top of their tick in submission
+	// order.
+	events sim.Queue
+}
+
+// New builds a cluster per cfg, including the workload's namespace and
+// client streams.
+func New(cfg Config) (*Cluster, error) {
+	cfg.defaults()
+	if cfg.Balancer == nil {
+		return nil, errors.New("cluster: config requires a balancer")
+	}
+	if cfg.Workload == nil {
+		return nil, errors.New("cluster: config requires a workload")
+	}
+	tree := namespace.NewTree()
+	part := namespace.NewPartition(tree, 0)
+	src := rng.New(cfg.Seed)
+
+	specs, err := cfg.Workload.Setup(tree, cfg.Clients, src.Fork(1))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: workload setup: %w", err)
+	}
+
+	cl := &Cluster{
+		cfg:    cfg,
+		tree:   tree,
+		part:   part,
+		osds:   osd.NewPool(cfg.OSDs, cfg.OSDBandwidth),
+		ledger: msg.NewLedger(cfg.MDS),
+		rand:   src.Fork(2),
+		rec:    metrics.NewRecorder(cfg.MDS),
+	}
+	for i := 0; i < cfg.MDS; i++ {
+		capacity := cfg.Capacity
+		if i < len(cfg.PerMDSCapacity) && cfg.PerMDSCapacity[i] > 0 {
+			capacity = cfg.PerMDSCapacity[i]
+		}
+		cl.servers = append(cl.servers,
+			mds.NewServer(namespace.MDSID(i), capacity, cfg.HistoryWindows, cfg.HeatDecay))
+	}
+	cl.migrator = mds.NewMigrator(part, cfg.MigrationRate, cfg.MaxActiveExports, cfg.QueueTTLTicks)
+	cl.migrator.MinTicks = cfg.ExportLatencyTicks
+	cl.migrator.OnComplete(func(t *mds.ExportTask) {
+		if int(t.From) < len(cl.servers) {
+			cl.servers[t.From].DropSubtreeStats(t.Key)
+		}
+	})
+	for i, sp := range specs {
+		cl.clients = append(cl.clients, client.New(i, sp, cfg.ClientRate))
+	}
+	return cl, nil
+}
+
+// Tree returns the namespace.
+func (c *Cluster) Tree() *namespace.Tree { return c.tree }
+
+// Partition returns the live subtree partition.
+func (c *Cluster) Partition() *namespace.Partition { return c.part }
+
+// Migrator returns the migration engine.
+func (c *Cluster) Migrator() *mds.Migrator { return c.migrator }
+
+// Servers returns the MDS servers (shared slice; do not modify).
+func (c *Cluster) Servers() []*mds.Server { return c.servers }
+
+// Clients returns the clients (shared slice; do not modify).
+func (c *Cluster) Clients() []*client.Client { return c.clients }
+
+// Metrics returns the run's recorder.
+func (c *Cluster) Metrics() *metrics.Recorder { return c.rec }
+
+// Ledger returns the control-plane message ledger.
+func (c *Cluster) Ledger() *msg.Ledger { return c.ledger }
+
+// Tick returns the current simulation tick.
+func (c *Cluster) Tick() int64 { return c.tick }
+
+// Done reports whether every client has finished.
+func (c *Cluster) Done() bool { return c.doneN == len(c.clients) }
+
+// ScheduleAddMDS arranges for n more MDSs to join at the given tick
+// (the Figure 12(a) expansion experiment).
+func (c *Cluster) ScheduleAddMDS(tick int64, n int) {
+	c.events.Schedule(tick, func() {
+		for i := 0; i < n; i++ {
+			c.AddMDS()
+		}
+	})
+}
+
+// PinPath statically pins the subtree rooted at the directory path to
+// the given MDS rank — CephFS's manual subtree pinning
+// (ceph.dir.pin). Pinned subtrees still migrate if a balancer chooses
+// to move them; combine with a passive balancer for fully static
+// placement.
+func (c *Cluster) PinPath(path string, rank int) error {
+	if rank < 0 || rank >= len(c.servers) {
+		return fmt.Errorf("cluster: pin rank %d out of range [0,%d)", rank, len(c.servers))
+	}
+	dir, err := c.tree.Lookup(path)
+	if err != nil {
+		return fmt.Errorf("cluster: pin %q: %w", path, err)
+	}
+	if !dir.IsDir {
+		return fmt.Errorf("cluster: pin %q: not a directory", path)
+	}
+	e := c.part.Carve(dir)
+	c.part.SetAuth(e.Key, namespace.MDSID(rank))
+	return nil
+}
+
+// ScheduleCapacity arranges for the given rank's capacity to change at
+// the given tick (degradation/failure injection: a slow disk, a noisy
+// neighbour, a partial failure).
+func (c *Cluster) ScheduleCapacity(tick int64, rank, capacity int) {
+	c.events.Schedule(tick, func() {
+		if rank >= 0 && rank < len(c.servers) {
+			c.servers[rank].SetCapacity(capacity)
+		}
+	})
+}
+
+// AddMDS immediately grows the cluster by one server and returns it.
+func (c *Cluster) AddMDS() *mds.Server {
+	id := namespace.MDSID(len(c.servers))
+	s := mds.NewServer(id, c.cfg.Capacity, c.cfg.HistoryWindows, c.cfg.HeatDecay)
+	c.servers = append(c.servers, s)
+	c.ledger.Grow(len(c.servers))
+	c.rec.GrowMDS(len(c.servers))
+	return s
+}
+
+// Step advances the simulation one tick.
+func (c *Cluster) Step() {
+	tick := c.tick
+	epoch := tick / int64(c.cfg.EpochTicks)
+
+	c.events.RunDue(tick)
+
+	for _, s := range c.servers {
+		s.BeginTick()
+	}
+	if c.cfg.DataPath {
+		c.osds.BeginTick()
+	}
+	c.migrator.Tick(tick)
+
+	for _, ci := range c.rand.Perm(len(c.clients)) {
+		c.stepClient(c.clients[ci], tick, epoch)
+	}
+
+	perMDS := make([]int, len(c.servers))
+	for i, s := range c.servers {
+		perMDS[i] = s.OpsThisTick()
+	}
+	c.rec.SampleTick(tick, perMDS, c.migrator.MigratedInodes(), c.forwards)
+
+	if (tick+1)%int64(c.cfg.EpochTicks) == 0 {
+		c.endEpoch(tick, epoch)
+	}
+	c.tick++
+}
+
+func (c *Cluster) stepClient(cl *client.Client, tick, epoch int64) {
+	if cl.Done() || tick < cl.StartTick() {
+		return
+	}
+	if cl.Debt() > 0 {
+		cl.PayDebt(c.osds.Consume(cl.Debt()))
+		if cl.Debt() > 0 {
+			return // still blocked on the data path
+		}
+	}
+	n := cl.AccrueCredit()
+	for i := 0; i < n; i++ {
+		op, ok := cl.NextOp(tick)
+		if !ok {
+			break
+		}
+		if !c.execute(cl, op, epoch) {
+			cl.Retain()
+			return
+		}
+		c.rec.AddLatency(cl.CompleteOp(tick))
+		if c.cfg.DataPath && op.DataSize > 0 {
+			cl.AddDebt(op.DataSize)
+			cl.PayDebt(c.osds.Consume(cl.Debt()))
+			if cl.Debt() > 0 {
+				break // blocked on the data path until paid off
+			}
+		}
+	}
+	if cl.MaybeFinish(tick) {
+		c.doneN++
+		c.rec.AddJCT(tick)
+	}
+}
+
+// execute serves one metadata op for the given client. With a valid
+// authority-cache entry the client contacts the authoritative MDS
+// directly; otherwise the request traverses the authority chain,
+// charging one forwarding unit at every relay hop (how CephFS resolves
+// unknown or stale subtree mappings). It returns false when the op must
+// stall (saturated or frozen target).
+func (c *Cluster) execute(cl *client.Client, op workload.Op, epoch int64) bool {
+	target := op.Target
+	if op.Kind == workload.OpCreate {
+		target = op.Parent.Child(op.Name)
+		if target == nil {
+			in, err := c.tree.Create(op.Parent, op.Name, op.Size)
+			if err != nil {
+				// Name raced into existence or invalid: treat as served.
+				return true
+			}
+			target = in
+		}
+	}
+	chain, entry := c.part.ResolveChain(target)
+	auth := c.servers[entry.Auth]
+	if c.migrator.IsFrozen(entry.Key) {
+		auth.NoteStall()
+		return false
+	}
+	if !auth.HasBudget() {
+		auth.NoteStall()
+		return false
+	}
+	cached, ok := cl.CacheLookup(entry.Key)
+	if ok && cached == entry.Auth {
+		auth.Serve(entry, target, epoch)
+		return true
+	}
+	// Cache miss or stale mapping: the request relays along the chain.
+	for _, h := range chain[:len(chain)-1] {
+		if !c.servers[h].HasBudget() {
+			c.servers[h].NoteStall()
+			return false
+		}
+	}
+	for _, h := range chain[:len(chain)-1] {
+		c.servers[h].ConsumeForward()
+	}
+	auth.Serve(entry, target, epoch)
+	c.forwards += int64(len(chain) - 1)
+	cl.CacheStore(entry.Key, entry.Auth)
+	return true
+}
+
+func (c *Cluster) endEpoch(tick, epoch int64) {
+	loads := make([]float64, len(c.servers))
+	for i, s := range c.servers {
+		loads[i] = s.EndEpoch(c.cfg.EpochTicks)
+	}
+	res := core.IFModel{}.Compute(loads, float64(c.cfg.Capacity))
+	c.rec.SampleEpoch(tick, res.IF, res.CoV)
+	c.cfg.Balancer.Rebalance(&view{c: c, epoch: epoch})
+}
+
+// Run advances the simulation by the given number of ticks.
+func (c *Cluster) Run(ticks int64) {
+	for i := int64(0); i < ticks; i++ {
+		c.Step()
+	}
+}
+
+// RunUntilDone advances until every client finishes or maxTicks pass.
+// It returns the tick at which it stopped.
+func (c *Cluster) RunUntilDone(maxTicks int64) int64 {
+	for c.tick < maxTicks && !c.Done() {
+		c.Step()
+	}
+	return c.tick
+}
+
+// view adapts Cluster to balancer.View.
+type view struct {
+	c     *Cluster
+	epoch int64
+}
+
+func (v *view) Tick() int64                           { return v.c.tick }
+func (v *view) Epoch() int64                          { return v.epoch }
+func (v *view) EpochTicks() int                       { return v.c.cfg.EpochTicks }
+func (v *view) NumMDS() int                           { return len(v.c.servers) }
+func (v *view) Server(id namespace.MDSID) *mds.Server { return v.c.servers[id] }
+func (v *view) Partition() *namespace.Partition       { return v.c.part }
+func (v *view) Migrator() *mds.Migrator               { return v.c.migrator }
+func (v *view) Capacity() float64                     { return float64(v.c.cfg.Capacity) }
+func (v *view) HeatDecay() float64                    { return v.c.cfg.HeatDecay }
+func (v *view) Rand() *rng.Source                     { return v.c.rand }
+func (v *view) Ledger() *msg.Ledger                   { return v.c.ledger }

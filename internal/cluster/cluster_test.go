@@ -1,0 +1,332 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/balancer"
+	"repro/internal/core"
+	"repro/internal/namespace"
+	"repro/internal/workload"
+)
+
+// smallZipf is a quick workload for integration tests.
+func smallZipf() workload.Generator {
+	return workload.NewZipf(workload.ZipfConfig{FilesPerClient: 200, OpsPerClient: 4000})
+}
+
+func smallCNN() workload.Generator {
+	return workload.NewCNN(workload.CNNConfig{Dirs: 40, FilesPerDir: 10})
+}
+
+func smallMD() workload.Generator {
+	return workload.NewMD(workload.MDConfig{CreatesPerClient: 1500})
+}
+
+func newTestCluster(t testing.TB, cfg Config) *Cluster {
+	t.Helper()
+	if cfg.Balancer == nil {
+		cfg.Balancer = core.NewDefault()
+	}
+	if cfg.Workload == nil {
+		cfg.Workload = smallZipf()
+	}
+	if cfg.Clients == 0 {
+		cfg.Clients = 10
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 7
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Workload: smallZipf()}); err == nil {
+		t.Fatal("missing balancer must error")
+	}
+	if _, err := New(Config{Balancer: core.NewDefault()}); err == nil {
+		t.Fatal("missing workload must error")
+	}
+}
+
+func TestRunCompletesAllClients(t *testing.T) {
+	c := newTestCluster(t, Config{})
+	end := c.RunUntilDone(5000)
+	if !c.Done() {
+		t.Fatalf("clients unfinished after %d ticks", end)
+	}
+	if len(c.Metrics().JCT) != len(c.Clients()) {
+		t.Fatalf("JCT count %d != clients %d", len(c.Metrics().JCT), len(c.Clients()))
+	}
+	// Every issued op was eventually served: total served == sum of
+	// per-client completed ops.
+	var clientOps int64
+	for _, cl := range c.Clients() {
+		if !cl.Done() {
+			t.Fatal("client not done")
+		}
+		clientOps += cl.OpsDone()
+	}
+	var served int64
+	for _, s := range c.Servers() {
+		served += s.OpsTotal()
+	}
+	if clientOps != served {
+		t.Fatalf("client ops %d != served ops %d", clientOps, served)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (int64, float64, float64) {
+		c := newTestCluster(t, Config{Seed: 99})
+		c.RunUntilDone(5000)
+		rec := c.Metrics()
+		return c.Tick(), rec.MeanIF(), rec.MigratedTotal()
+	}
+	t1, if1, m1 := run()
+	t2, if2, m2 := run()
+	if t1 != t2 || if1 != if2 || m1 != m2 {
+		t.Fatalf("nondeterministic runs: (%d,%v,%v) vs (%d,%v,%v)", t1, if1, m1, t2, if2, m2)
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	runWith := func(seed uint64) float64 {
+		c := newTestCluster(t, Config{Seed: seed})
+		c.RunUntilDone(5000)
+		return c.Metrics().TotalOps()
+	}
+	// Different seeds still serve the same op total (workload is fixed)
+	// but the dynamics (migrations) differ.
+	c1 := newTestCluster(t, Config{Seed: 1})
+	c1.RunUntilDone(5000)
+	c2 := newTestCluster(t, Config{Seed: 2})
+	c2.RunUntilDone(5000)
+	if c1.Metrics().TotalOps() != c2.Metrics().TotalOps() {
+		t.Fatal("total ops must match across seeds (same workload volume)")
+	}
+	_ = runWith
+}
+
+func TestInodeConservationAcrossMigrations(t *testing.T) {
+	c := newTestCluster(t, Config{Workload: smallCNN(), Clients: 8})
+	for i := 0; i < 1500 && !c.Done(); i++ {
+		c.Step()
+		if i%100 == 0 {
+			total := 0
+			for _, sz := range c.Partition().SubtreeSizes() {
+				if sz < 0 {
+					t.Fatalf("negative governed size at tick %d", i)
+				}
+				total += sz
+			}
+			if total != c.Tree().NumInodes() {
+				t.Fatalf("tick %d: governed %d != tree %d", i, total, c.Tree().NumInodes())
+			}
+		}
+	}
+}
+
+func TestLunuleBeatsNothingBalancer(t *testing.T) {
+	// A do-nothing balancer leaves everything on MDS 0; Lunule must
+	// complete the same workload sooner. The demand (20 clients x 150
+	// ops/s) exceeds one MDS's capacity, so balancing matters.
+	cfgBase := Config{
+		Workload: workload.NewZipf(workload.ZipfConfig{FilesPerClient: 200, OpsPerClient: 15000}),
+		Clients:  20,
+		Seed:     5,
+	}
+
+	cfgNull := cfgBase
+	cfgNull.Balancer = nullBalancer{}
+	cNull := newTestCluster(t, cfgNull)
+	cNull.RunUntilDone(20000)
+
+	cfgLun := cfgBase
+	cfgLun.Balancer = core.NewDefault()
+	cLun := newTestCluster(t, cfgLun)
+	cLun.RunUntilDone(20000)
+
+	if !cNull.Done() || !cLun.Done() {
+		t.Fatal("runs did not finish")
+	}
+	if cLun.Tick() >= cNull.Tick() {
+		t.Fatalf("Lunule (%d ticks) not faster than no balancing (%d ticks)", cLun.Tick(), cNull.Tick())
+	}
+}
+
+type nullBalancer struct{}
+
+func (nullBalancer) Name() string              { return "null" }
+func (nullBalancer) Rebalance(v balancer.View) {}
+
+func TestMDSExpansionAbsorbsLoad(t *testing.T) {
+	c := newTestCluster(t, Config{
+		MDS:      2,
+		Clients:  16,
+		Workload: workload.NewZipf(workload.ZipfConfig{FilesPerClient: 200, OpsPerClient: 20000}),
+	})
+	c.ScheduleAddMDS(100, 1)
+	c.Run(300)
+	if len(c.Servers()) != 3 {
+		t.Fatalf("servers = %d, want 3 after expansion", len(c.Servers()))
+	}
+	s3 := c.Servers()[2]
+	if s3.OpsTotal() == 0 {
+		t.Fatal("added MDS never absorbed load")
+	}
+	// Metrics grew too.
+	if len(c.Metrics().PerMDS) != 3 {
+		t.Fatal("metrics did not grow with the cluster")
+	}
+}
+
+func TestDataPathSlowsCompletion(t *testing.T) {
+	base := Config{Workload: smallZipf(), Clients: 10, Seed: 3}
+	noData := newTestCluster(t, base)
+	noData.RunUntilDone(20000)
+
+	withData := base
+	withData.DataPath = true
+	withData.OSDs = 1
+	withData.OSDBandwidth = 4 << 20 // starve the data path
+	cData := newTestCluster(t, withData)
+	cData.RunUntilDone(20000)
+
+	if !cData.Done() {
+		t.Fatal("data-path run did not finish")
+	}
+	if cData.Tick() <= noData.Tick() {
+		t.Fatalf("a starved data path must slow completion (%d vs %d)", cData.Tick(), noData.Tick())
+	}
+}
+
+func TestCreatesMaterializeInNamespace(t *testing.T) {
+	c := newTestCluster(t, Config{Workload: smallMD(), Clients: 6})
+	before := c.Tree().NumInodes()
+	c.RunUntilDone(10000)
+	if !c.Done() {
+		t.Fatal("MD run did not finish")
+	}
+	created := c.Tree().NumInodes() - before
+	if created != 6*1500 {
+		t.Fatalf("created %d inodes, want %d", created, 6*1500)
+	}
+}
+
+func TestForwardsAccounted(t *testing.T) {
+	c := newTestCluster(t, Config{Workload: smallCNN(), Clients: 8})
+	c.RunUntilDone(5000)
+	rec := c.Metrics()
+	// Any balancing at all moves subtrees, which invalidates client
+	// caches at least once each: forwards must be visible.
+	if c.Migrator().CompletedTasks() > 0 && rec.ForwardsTotal() == 0 {
+		t.Fatal("migrations happened but no forwards were recorded")
+	}
+	var serverFwd int64
+	for _, s := range c.Servers() {
+		serverFwd += s.Forwards()
+	}
+	if float64(serverFwd) != rec.ForwardsTotal() {
+		t.Fatalf("server forwards %d != recorded %v", serverFwd, rec.ForwardsTotal())
+	}
+}
+
+func TestEpochMetricsRecorded(t *testing.T) {
+	c := newTestCluster(t, Config{})
+	c.Run(100)
+	rec := c.Metrics()
+	if rec.IF.Len() != 10 {
+		t.Fatalf("IF samples = %d, want one per epoch", rec.IF.Len())
+	}
+	if rec.Agg.Len() != 100 {
+		t.Fatalf("agg samples = %d, want one per tick", rec.Agg.Len())
+	}
+}
+
+func TestMessageLedgerPopulated(t *testing.T) {
+	c := newTestCluster(t, Config{})
+	c.Run(50)
+	if c.Ledger().TotalBytes() == 0 {
+		t.Fatal("balancer epochs must account control messages")
+	}
+}
+
+func TestFrozenSubtreeStallsNotLoses(t *testing.T) {
+	// Force a migration of a hot subtree and verify ops are stalled
+	// (clients retry) rather than dropped: total served still matches.
+	c := newTestCluster(t, Config{Workload: smallZipf(), Clients: 8, MigrationRate: 50})
+	c.RunUntilDone(20000)
+	if !c.Done() {
+		t.Fatal("run did not finish")
+	}
+	var clientOps int64
+	for _, cl := range c.Clients() {
+		clientOps += cl.OpsDone()
+	}
+	var served int64
+	for _, s := range c.Servers() {
+		served += s.OpsTotal()
+	}
+	if clientOps != served {
+		t.Fatalf("ops lost under slow migration: %d vs %d", clientOps, served)
+	}
+}
+
+func TestScheduledDegradationAbsorbed(t *testing.T) {
+	// One MDS's capacity halves mid-run (failure injection). The run
+	// must complete with no lost ops, and the degraded server must
+	// have had its capacity changed.
+	c := newTestCluster(t, Config{
+		Workload: workload.NewZipf(workload.ZipfConfig{FilesPerClient: 200, OpsPerClient: 10000}),
+		Clients:  15,
+	})
+	c.ScheduleCapacity(50, 2, 500)
+	c.RunUntilDone(20000)
+	if !c.Done() {
+		t.Fatal("degraded run did not finish")
+	}
+	if c.Servers()[2].Capacity != 500 {
+		t.Fatalf("capacity = %d, want 500", c.Servers()[2].Capacity)
+	}
+	var clientOps, served int64
+	for _, cl := range c.Clients() {
+		clientOps += cl.OpsDone()
+	}
+	for _, s := range c.Servers() {
+		served += s.OpsTotal()
+	}
+	if clientOps != served {
+		t.Fatalf("ops lost under degradation: %d vs %d", clientOps, served)
+	}
+}
+
+func TestPerMDSCapacity(t *testing.T) {
+	c := newTestCluster(t, Config{
+		PerMDSCapacity: []int{2000, 1000, 500},
+		MDS:            3,
+	})
+	caps := []int{c.Servers()[0].Capacity, c.Servers()[1].Capacity, c.Servers()[2].Capacity}
+	if caps[0] != 2000 || caps[1] != 1000 || caps[2] != 500 {
+		t.Fatalf("capacities = %v", caps)
+	}
+}
+
+func TestAuthorityAlwaysResolvable(t *testing.T) {
+	c := newTestCluster(t, Config{Workload: smallCNN(), Clients: 8})
+	for i := 0; i < 600 && !c.Done(); i++ {
+		c.Step()
+		if i%200 == 0 {
+			c.Tree().Walk(func(in *namespace.Inode) bool {
+				auth := c.Partition().AuthOf(in)
+				if int(auth) < 0 || int(auth) >= len(c.Servers()) {
+					t.Fatalf("inode %d resolves to invalid MDS %d", in.Ino, auth)
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/balancer"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// TestBalancerWorkloadMatrix runs every balancer against every
+// workload at tiny scale and checks the universal invariants: the run
+// completes, no operations are lost, governed subtree sizes stay
+// consistent, and the JCT count matches the client count.
+func TestBalancerWorkloadMatrix(t *testing.T) {
+	balancers := map[string]func() balancer.Balancer{
+		"vanilla":     func() balancer.Balancer { return balancer.NewVanilla() },
+		"greedyspill": func() balancer.Balancer { return balancer.NewGreedySpill() },
+		"dirhash":     func() balancer.Balancer { return balancer.NewDirHash() },
+		"light":       func() balancer.Balancer { return core.NewLight() },
+		"lunule":      func() balancer.Balancer { return core.NewDefault() },
+	}
+	workloads := map[string]func() workload.Generator{
+		"cnn": func() workload.Generator {
+			return workload.NewCNN(workload.CNNConfig{Dirs: 20, FilesPerDir: 8})
+		},
+		"nlp": func() workload.Generator {
+			return workload.NewNLP(workload.NLPConfig{Dirs: 6, FilesPerDir: 40})
+		},
+		"web": func() workload.Generator {
+			return workload.NewWeb(workload.WebConfig{Files: 600, RequestsPerClient: 1500})
+		},
+		"zipf": func() workload.Generator {
+			return workload.NewZipf(workload.ZipfConfig{FilesPerClient: 100, OpsPerClient: 2500})
+		},
+		"md": func() workload.Generator {
+			return workload.NewMD(workload.MDConfig{CreatesPerClient: 1200})
+		},
+		"mdshared": func() workload.Generator {
+			return workload.NewMDShared(workload.MDSharedConfig{CreatesPerClient: 1200})
+		},
+	}
+	for bName, mkB := range balancers {
+		for wName, mkW := range workloads {
+			t.Run(fmt.Sprintf("%s/%s", bName, wName), func(t *testing.T) {
+				c, err := New(Config{
+					Balancer: mkB(),
+					Workload: mkW(),
+					Clients:  8,
+					Seed:     17,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				c.RunUntilDone(8000)
+				if !c.Done() {
+					t.Fatal("run did not complete")
+				}
+				var clientOps, served int64
+				for _, cl := range c.Clients() {
+					clientOps += cl.OpsDone()
+				}
+				for _, s := range c.Servers() {
+					served += s.OpsTotal()
+				}
+				if clientOps != served {
+					t.Fatalf("ops lost: clients %d vs served %d", clientOps, served)
+				}
+				total := 0
+				for _, sz := range c.Partition().SubtreeSizes() {
+					if sz < 0 {
+						t.Fatal("negative governed size")
+					}
+					total += sz
+				}
+				if total != c.Tree().NumInodes() {
+					t.Fatalf("partition accounts %d of %d inodes", total, c.Tree().NumInodes())
+				}
+				if len(c.Metrics().JCT) != 8 {
+					t.Fatalf("JCT count = %d", len(c.Metrics().JCT))
+				}
+			})
+		}
+	}
+}
+
+func TestPinPath(t *testing.T) {
+	c := newTestCluster(t, Config{})
+	if err := c.PinPath("/zipf/client000", 3); err != nil {
+		t.Fatal(err)
+	}
+	dir, _ := c.Tree().Lookup("/zipf/client000")
+	if c.Partition().AuthOf(dir.Children()[0]) != 3 {
+		t.Fatal("pinned subtree not on the requested rank")
+	}
+	if err := c.PinPath("/nope", 0); err == nil {
+		t.Fatal("pinning a missing path must error")
+	}
+	if err := c.PinPath("/zipf/client000", 99); err == nil {
+		t.Fatal("pinning to an invalid rank must error")
+	}
+	if err := c.PinPath("/zipf/client000/file00000", 0); err == nil {
+		t.Fatal("pinning a file must error")
+	}
+}

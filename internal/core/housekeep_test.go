@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/namespace"
+)
+
+func TestHousekeepAbsorbsRedundantEntries(t *testing.T) {
+	v, dirs := buildView(t, 4, 10)
+	// Carve two dirs but leave them on their enclosing authority (0):
+	// redundant entries a real MDS would absorb.
+	v.Part.Carve(dirs[0])
+	v.Part.Carve(dirs[1])
+	// A third dir genuinely on another MDS must survive.
+	e2 := v.Part.Carve(dirs[2])
+	v.Part.SetAuth(e2.Key, 1)
+	before := v.Part.NumEntries()
+
+	lun := NewDefault()
+	lun.Rebalance(v) // idle cluster: only housekeeping runs
+	after := v.Part.NumEntries()
+	if after != before-2 {
+		t.Fatalf("entries %d -> %d, want two redundant entries absorbed", before, after)
+	}
+	if _, ok := v.Part.EntryAt(e2.Key); !ok {
+		t.Fatal("foreign-authority entry must survive housekeeping")
+	}
+}
+
+func TestHousekeepMergesSameAuthFragments(t *testing.T) {
+	v, dirs := buildView(t, 2, 20)
+	e := v.Part.Carve(dirs[0])
+	v.Part.SetAuth(e.Key, 1)
+	l, r, ok := v.Part.SplitEntry(e.Key)
+	if !ok {
+		t.Fatal("split")
+	}
+	// Both halves on MDS 1: housekeeping merges them back.
+	_ = l
+	_ = r
+	lun := NewDefault()
+	lun.Rebalance(v)
+	es := v.Part.EntriesAt(dirs[0].Ino)
+	if len(es) != 1 || !es[0].Key.Frag.IsWhole() {
+		t.Fatalf("fragments not merged: %v", es)
+	}
+	if es[0].Auth != 1 {
+		t.Fatal("merge changed authority")
+	}
+}
+
+func TestHousekeepLeavesSplitAuthFragments(t *testing.T) {
+	v, dirs := buildView(t, 2, 20)
+	e := v.Part.Carve(dirs[0])
+	l, r, _ := v.Part.SplitEntry(e.Key)
+	v.Part.SetAuth(l.Key, 1)
+	v.Part.SetAuth(r.Key, 2)
+	lun := NewDefault()
+	lun.Rebalance(v)
+	if len(v.Part.EntriesAt(dirs[0].Ino)) != 2 {
+		t.Fatal("differently-owned fragments must not merge")
+	}
+}
+
+func TestHousekeepSkipsPendingExports(t *testing.T) {
+	v, dirs := buildView(t, 2, 20)
+	e := v.Part.Carve(dirs[0])
+	// Redundant (auth == enclosing) but pending export: keep it.
+	v.Mig.Submit(e.Key, 0, 1, 1, 0)
+	lun := NewDefault()
+	lun.Rebalance(v)
+	if _, ok := v.Part.EntryAt(e.Key); !ok {
+		t.Fatal("pending entry was absorbed out from under its export")
+	}
+	_ = namespace.WholeFrag
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"repro/internal/balancer"
+	"repro/internal/namespace"
+)
+
+// Config parameterizes the Lunule balancer.
+type Config struct {
+	// Threshold is the IF value above which re-balance triggers.
+	Threshold float64
+	// Smoothness is the urgency knob S (paper: 0.2).
+	Smoothness float64
+	// L gates per-MDS plan participation in Algorithm 1.
+	L float64
+	// CapFraction sizes Algorithm 1's per-epoch export/import ceiling
+	// as a fraction of the single-MDS capacity C.
+	CapFraction float64
+	// HistoryEpochs feeds the importer-side future-load regression.
+	HistoryEpochs int
+	// Windows is the pattern analyzer's cutting-window depth N.
+	Windows int
+	// SiblingProb is the sibling-correlation probability mass.
+	SiblingProb float64
+	// Tolerance is the subtree selector's matching tolerance.
+	Tolerance float64
+	// CandidateLimit bounds candidate enumeration.
+	CandidateLimit int
+	// WorkloadAware toggles the workload-aware subtree selection; with
+	// it off the policy is the paper's Lunule-Light variant, which
+	// keeps the IF model and Algorithm 1 but selects subtrees by the
+	// default heat ranking.
+	WorkloadAware bool
+
+	// Ablation switches (all false in the paper's system). They exist
+	// so the contribution of each design choice can be measured:
+	//
+	// DisableUrgency replaces Equation 2's logistic with U = 1, so the
+	// trigger fires on any dispersion regardless of absolute load (no
+	// benign-imbalance tolerance).
+	DisableUrgency bool
+	// DisableSiblingCredit removes the sibling-correlation term from
+	// l_s, so unvisited subtrees carry no anticipated load.
+	DisableSiblingCredit bool
+	// DisableImporterGate drops Algorithm 1's future-load (fld) test:
+	// every below-average MDS imports its full gap.
+	DisableImporterGate bool
+}
+
+// DefaultConfig returns the configuration used throughout the paper's
+// evaluation.
+func DefaultConfig() Config {
+	return Config{
+		Threshold:      0.10,
+		Smoothness:     DefaultSmoothness,
+		L:              0.05,
+		CapFraction:    1.0,
+		HistoryEpochs:  8,
+		Windows:        5,
+		SiblingProb:    0.5,
+		Tolerance:      0.10,
+		CandidateLimit: 128,
+		WorkloadAware:  true,
+	}
+}
+
+// Lunule is the paper's balancer: IF-model-driven triggering,
+// Algorithm 1 role/amount planning, and workload-aware subtree
+// selection.
+type Lunule struct {
+	cfg      Config
+	selector *Selector
+
+	// lastResult is the most recent IF evaluation, exposed for
+	// experiments and debugging.
+	lastResult IFResult
+	// rebalances counts how many epochs actually triggered migration.
+	rebalances int
+}
+
+// New creates a Lunule balancer. Zero-valued fields of cfg are filled
+// from DefaultConfig.
+func New(cfg Config) *Lunule {
+	def := DefaultConfig()
+	if cfg.Threshold == 0 {
+		cfg.Threshold = def.Threshold
+	}
+	if cfg.Smoothness == 0 {
+		cfg.Smoothness = def.Smoothness
+	}
+	if cfg.L == 0 {
+		cfg.L = def.L
+	}
+	if cfg.CapFraction == 0 {
+		cfg.CapFraction = def.CapFraction
+	}
+	if cfg.HistoryEpochs == 0 {
+		cfg.HistoryEpochs = def.HistoryEpochs
+	}
+	if cfg.Windows == 0 {
+		cfg.Windows = def.Windows
+	}
+	if cfg.SiblingProb == 0 {
+		cfg.SiblingProb = def.SiblingProb
+	}
+	if cfg.Tolerance == 0 {
+		cfg.Tolerance = def.Tolerance
+	}
+	if cfg.CandidateLimit == 0 {
+		cfg.CandidateLimit = def.CandidateLimit
+	}
+	sel := NewSelector()
+	sel.Tolerance = cfg.Tolerance
+	sel.CandidateLimit = cfg.CandidateLimit
+	return &Lunule{cfg: cfg, selector: sel}
+}
+
+// NewDefault creates Lunule with the paper's defaults.
+func NewDefault() *Lunule {
+	cfg := DefaultConfig()
+	return New(cfg)
+}
+
+// NewLight creates the Lunule-Light variant (workload-aware selection
+// off).
+func NewLight() *Lunule {
+	cfg := DefaultConfig()
+	cfg.WorkloadAware = false
+	return New(cfg)
+}
+
+// Name implements balancer.Balancer.
+func (b *Lunule) Name() string {
+	if b.cfg.WorkloadAware {
+		return "Lunule"
+	}
+	return "Lunule-Light"
+}
+
+// LastIF returns the most recent IF evaluation.
+func (b *Lunule) LastIF() IFResult { return b.lastResult }
+
+// Rebalances returns how many epochs triggered migration so far.
+func (b *Lunule) Rebalances() int { return b.rebalances }
+
+// housekeep tidies the partition once per epoch, as the CephFS MDS
+// does between balancing rounds: fragment entries whose sibling half
+// ended up on the same MDS merge back into their parent fragment, and
+// whole-subtree entries whose enclosing subtree has the same authority
+// are absorbed. Fewer entries mean shorter authority chains and less
+// client-cache pressure; migrations in flight are left alone.
+func (b *Lunule) housekeep(v balancer.View) {
+	part := v.Partition()
+	mig := v.Migrator()
+	rootKey := namespace.FragKey{Dir: namespace.RootIno, Frag: namespace.WholeFrag}
+	for _, e := range part.Entries() {
+		if e.Key == rootKey || mig.IsFrozen(e.Key) || mig.PendingFor(e.Auth)[e.Key] {
+			continue
+		}
+		if e.Key.Frag.IsWhole() {
+			if enc, ok := part.EnclosingAuth(e.Key); ok && enc == e.Auth {
+				part.Absorb(e.Key)
+			}
+			continue
+		}
+		sibKey := namespace.FragKey{Dir: e.Key.Dir, Frag: e.Key.Frag.Sibling()}
+		if mig.IsFrozen(sibKey) {
+			continue
+		}
+		if sib, ok := part.EntryAt(sibKey); ok && sib.Auth == e.Auth && !mig.PendingFor(sib.Auth)[sibKey] {
+			part.MergeWithSibling(e.Key)
+		}
+	}
+}
+
+// Rebalance implements balancer.Balancer.
+func (b *Lunule) Rebalance(v balancer.View) {
+	b.housekeep(v)
+	n := v.NumMDS()
+	loads := balancer.Loads(v)
+	b.lastResult = IFModel{S: b.cfg.Smoothness}.Compute(loads, v.Capacity())
+	if b.cfg.DisableUrgency {
+		// Ablation: raw normalized CoV, no benign-imbalance tolerance.
+		b.lastResult.U = 1
+		b.lastResult.IF = b.lastResult.NormCoV
+	}
+
+	if b.lastResult.IF < b.cfg.Threshold {
+		// Benign (or no) imbalance: report stats, do nothing.
+		v.Ledger().EpochLunule(n, 0, nil, 0)
+		return
+	}
+
+	plan := Plan(loads, balancer.LoadHistories(v), PlannerConfig{
+		L:                 b.cfg.L,
+		Cap:               b.cfg.CapFraction * v.Capacity(),
+		HistoryEpochs:     b.cfg.HistoryEpochs,
+		DisableFutureLoad: b.cfg.DisableImporterGate,
+	})
+	if len(plan) == 0 {
+		v.Ledger().EpochLunule(n, 0, nil, 0)
+		return
+	}
+	b.rebalances++
+
+	// Group decisions per exporter for the decision messages.
+	perExporter := make(map[namespace.MDSID][]Decision)
+	var exporterOrder []namespace.MDSID
+	for _, d := range plan {
+		if _, seen := perExporter[d.From]; !seen {
+			exporterOrder = append(exporterOrder, d.From)
+		}
+		perExporter[d.From] = append(perExporter[d.From], d)
+	}
+	exporterRanks := make([]int, len(exporterOrder))
+	maxPairs := 0
+	for i, ex := range exporterOrder {
+		exporterRanks[i] = int(ex)
+		if len(perExporter[ex]) > maxPairs {
+			maxPairs = len(perExporter[ex])
+		}
+	}
+	v.Ledger().EpochLunule(n, 0, exporterRanks, maxPairs)
+
+	an := &Analyzer{
+		Windows:     b.cfg.Windows,
+		SiblingProb: b.cfg.SiblingProb,
+		EpochTicks:  v.EpochTicks(),
+	}
+	if b.cfg.DisableSiblingCredit {
+		an.SiblingProb = 0
+	}
+	for _, ex := range exporterOrder {
+		for _, d := range perExporter[ex] {
+			b.execute(v, an, d)
+		}
+	}
+}
+
+func (b *Lunule) execute(v balancer.View, an *Analyzer, d Decision) {
+	if b.cfg.WorkloadAware {
+		for _, c := range b.selector.Select(v, an, d.From, d.Amount) {
+			balancer.SubmitCandidate(v, c, d.From, d.To)
+		}
+		return
+	}
+	// Lunule-Light: default (heat-ranked) subtree selection, still
+	// bounded by the planned amount relative to the exporter's load.
+	load := v.Server(d.From).CurrentLoad()
+	if load <= 0 {
+		return
+	}
+	for _, c := range balancer.HeatSelect(v, d.From, d.Amount/load, b.cfg.CandidateLimit) {
+		balancer.SubmitCandidate(v, c, d.From, d.To)
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestLunuleTriggersOnHarmfulSkew(t *testing.T) {
+	v, dirs := buildView(t, 10, 20)
+	// Saturate MDS 0 while the others idle: 200 files x 100 visits
+	// per epoch = 2000 ops/sec = the full capacity C -> IF near 1.
+	for e := int64(0); e < 3; e++ {
+		for _, d := range dirs {
+			for _, f := range d.Children() {
+				v.ServeN(f, 100, e)
+			}
+		}
+		v.EndEpoch()
+	}
+	lun := NewDefault()
+	lun.Rebalance(v)
+	if lun.LastIF().IF < 0.5 {
+		t.Fatalf("IF = %v, want high for a fully skewed saturated cluster", lun.LastIF().IF)
+	}
+	if lun.Rebalances() != 1 {
+		t.Fatalf("rebalances = %d, want 1", lun.Rebalances())
+	}
+	if v.Mig.QueuedTasks()+v.Mig.ActiveTasks() == 0 {
+		t.Fatal("harmful skew must submit migrations")
+	}
+}
+
+func TestLunuleToleratesBenignSkew(t *testing.T) {
+	v, dirs := buildView(t, 10, 20)
+	// Same skew shape, ~5% of capacity: benign.
+	for e := int64(0); e < 3; e++ {
+		for _, d := range dirs {
+			for _, f := range d.Children()[:5] {
+				v.ServeN(f, 1, e)
+			}
+		}
+		v.EndEpoch()
+	}
+	lun := NewDefault()
+	lun.Rebalance(v)
+	if lun.LastIF().IF >= lun.cfg.Threshold {
+		t.Fatalf("benign IF = %v, want below threshold %v", lun.LastIF().IF, lun.cfg.Threshold)
+	}
+	if lun.Rebalances() != 0 || v.Mig.QueuedTasks() != 0 {
+		t.Fatal("benign skew must not migrate")
+	}
+	// Stats were still reported to the initiator.
+	if v.Ledg.TotalBytes() == 0 {
+		t.Fatal("imbalance-state messages must flow every epoch")
+	}
+}
+
+func TestLunuleDisableUrgencyFiresOnBenign(t *testing.T) {
+	build := func() (*Lunule, func()) {
+		v, dirs := buildView(t, 10, 20)
+		cfg := DefaultConfig()
+		cfg.DisableUrgency = true
+		lun := New(cfg)
+		fire := func() {
+			for e := int64(0); e < 3; e++ {
+				for _, d := range dirs {
+					for _, f := range d.Children()[:5] {
+						v.ServeN(f, 1, e)
+					}
+				}
+				v.EndEpoch()
+			}
+			lun.Rebalance(v)
+		}
+		return lun, fire
+	}
+	lun, fire := build()
+	fire()
+	if lun.LastIF().U != 1 {
+		t.Fatalf("ablated urgency = %v, want 1", lun.LastIF().U)
+	}
+	if lun.Rebalances() == 0 {
+		t.Fatal("without urgency the benign skew must trigger")
+	}
+}
+
+func TestLunuleIdleClusterNoop(t *testing.T) {
+	v, _ := buildView(t, 4, 10)
+	v.EndEpoch()
+	lun := NewDefault()
+	lun.Rebalance(v)
+	if v.Mig.QueuedTasks() != 0 || lun.Rebalances() != 0 {
+		t.Fatal("idle cluster must be left alone")
+	}
+}
+
+func TestLunuleLightUsesHeatSelection(t *testing.T) {
+	v, dirs := buildView(t, 10, 20)
+	for e := int64(0); e < 3; e++ {
+		for _, d := range dirs {
+			for _, f := range d.Children() {
+				v.ServeN(f, 100, e)
+			}
+		}
+		v.EndEpoch()
+	}
+	light := NewLight()
+	if light.Name() != "Lunule-Light" {
+		t.Fatal("name")
+	}
+	light.Rebalance(v)
+	if v.Mig.QueuedTasks()+v.Mig.ActiveTasks() == 0 {
+		t.Fatal("light variant must still migrate on harmful skew")
+	}
+}
+
+func TestConfigDefaultsFill(t *testing.T) {
+	lun := New(Config{WorkloadAware: true})
+	def := DefaultConfig()
+	if lun.cfg.Threshold != def.Threshold || lun.cfg.Smoothness != def.Smoothness ||
+		lun.cfg.Windows != def.Windows || lun.cfg.CandidateLimit != def.CandidateLimit {
+		t.Fatalf("zero config not filled: %+v", lun.cfg)
+	}
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/namespace"
+	"repro/internal/trace"
+)
+
+// scanFixture builds /data with nDirs directories of filesPer files.
+func scanFixture(t testing.TB, nDirs, filesPer int) (*namespace.Tree, *namespace.Partition, []*namespace.Inode) {
+	t.Helper()
+	tree := namespace.NewTree()
+	data, err := tree.MkdirAll("/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirs []*namespace.Inode
+	for d := 0; d < nDirs; d++ {
+		dir, err := tree.Mkdir(data, fmt.Sprintf("d%03d", d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for f := 0; f < filesPer; f++ {
+			if _, err := tree.Create(dir, fmt.Sprintf("f%03d", f), 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		dirs = append(dirs, dir)
+	}
+	return tree, namespace.NewPartition(tree, 0), dirs
+}
+
+func rootKey() namespace.FragKey {
+	return namespace.FragKey{Dir: namespace.RootIno, Frag: namespace.WholeFrag}
+}
+
+func TestAnalyzerHotSetIsTemporal(t *testing.T) {
+	tree, _, dirs := scanFixture(t, 2, 20)
+	col := trace.NewCollector(5)
+	an := NewAnalyzer(10)
+	// Re-visit the same 10 files of d0 across several windows.
+	hot := dirs[0].Children()[:10]
+	for e := int64(0); e < 5; e++ {
+		col.BeginEpoch(e)
+		for _, f := range hot {
+			col.Record(rootKey(), f, e)
+			col.Record(rootKey(), f, e)
+		}
+	}
+	loc := an.ForDir(col, 4, dirs[0])
+	if loc.Alpha < 0.75 {
+		t.Fatalf("hot-set alpha = %v, want ~1", loc.Alpha)
+	}
+	// The very first window necessarily contains first visits, so beta
+	// does not reach exactly 0 within the history; it must stay small.
+	if loc.Beta > 0.2 {
+		t.Fatalf("hot-set beta = %v, want ~0", loc.Beta)
+	}
+	if loc.MIndex <= 0 {
+		t.Fatal("hot subtree must have positive mIndex")
+	}
+	// mIndex should approximate the served rate: 20 visits/epoch over
+	// 10-tick epochs = 2 ops/sec.
+	if loc.MIndex < 1 || loc.MIndex > 3 {
+		t.Fatalf("hot mIndex = %v, want ~2", loc.MIndex)
+	}
+	_ = tree
+}
+
+func TestAnalyzerScanIsSpatial(t *testing.T) {
+	_, _, dirs := scanFixture(t, 2, 40)
+	col := trace.NewCollector(5)
+	an := NewAnalyzer(10)
+	// Scan d0's files once, never revisiting.
+	for i, f := range dirs[0].Children() {
+		e := int64(i / 10)
+		col.BeginEpoch(e)
+		col.Record(rootKey(), f, e)
+	}
+	loc := an.ForDir(col, 3, dirs[0])
+	if loc.Alpha > 0.1 {
+		t.Fatalf("scan alpha = %v, want ~0", loc.Alpha)
+	}
+	if loc.Beta < 0.9 {
+		t.Fatalf("scan beta = %v, want ~1", loc.Beta)
+	}
+	if loc.MIndex <= 0 {
+		t.Fatal("scan front must have positive mIndex")
+	}
+}
+
+func TestAnalyzerSiblingCreditFlowsToUnvisited(t *testing.T) {
+	_, _, dirs := scanFixture(t, 3, 40)
+	col := trace.NewCollector(5)
+	an := NewAnalyzer(10)
+	// Scan is inside d0; d1 and d2 are untouched siblings.
+	col.BeginEpoch(0)
+	for _, f := range dirs[0].Children() {
+		col.Record(rootKey(), f, 0)
+	}
+	l1 := an.ForDir(col, 0, dirs[1])
+	l2 := an.ForDir(col, 0, dirs[2])
+	if l1.MIndex <= 0 || l2.MIndex <= 0 {
+		t.Fatalf("untouched siblings of a scan must anticipate load: %v, %v", l1.MIndex, l2.MIndex)
+	}
+	if l1.Beta < 0.99 || l2.Beta < 0.99 {
+		t.Fatal("untouched subtrees are purely spatial (beta=1)")
+	}
+	// Credit splits by unvisited volume: equal dirs get equal credit.
+	if diff := l1.MIndex - l2.MIndex; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("equal unvisited siblings must get equal credit: %v vs %v", l1.MIndex, l2.MIndex)
+	}
+}
+
+func TestAnalyzerDeadSubtreeHasNoFuture(t *testing.T) {
+	_, _, dirs := scanFixture(t, 2, 30)
+	col := trace.NewCollector(5)
+	an := NewAnalyzer(10)
+	// d0 fully scanned in early epochs, then traffic moves to d1.
+	col.BeginEpoch(0)
+	for _, f := range dirs[0].Children() {
+		col.Record(rootKey(), f, 0)
+	}
+	for e := int64(1); e <= 6; e++ {
+		col.BeginEpoch(e)
+		for _, f := range dirs[1].Children()[:10] {
+			col.Record(rootKey(), f, e)
+		}
+	}
+	dead := an.ForDir(col, 6, dirs[0])
+	live := an.ForDir(col, 6, dirs[1])
+	if dead.MIndex > live.MIndex/5 {
+		t.Fatalf("dead subtree mIndex %v should be far below live %v", dead.MIndex, live.MIndex)
+	}
+}
+
+func TestAnalyzerCreateStreamIsSpatial(t *testing.T) {
+	tree := namespace.NewTree()
+	dir, _ := tree.MkdirAll("/md/client0")
+	part := namespace.NewPartition(tree, 0)
+	col := trace.NewCollector(5)
+	an := NewAnalyzer(10)
+	// Create-and-touch new files continuously (MDtest shape).
+	n := 0
+	for e := int64(0); e < 4; e++ {
+		col.BeginEpoch(e)
+		for i := 0; i < 50; i++ {
+			f, err := tree.Create(dir, fmt.Sprintf("f%05d", n), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n++
+			col.Record(rootKey(), f, e)
+		}
+	}
+	loc := an.ForDir(col, 3, dir)
+	if loc.Beta < 0.9 {
+		t.Fatalf("create stream beta = %v, want ~1", loc.Beta)
+	}
+	// mIndex ~ create rate: 50/epoch over 10 ticks = 5 ops/sec.
+	if loc.MIndex < 3 || loc.MIndex > 8 {
+		t.Fatalf("create-stream mIndex = %v, want ~5", loc.MIndex)
+	}
+	_ = part
+}
+
+func TestAnalyzerForKeyFragCredit(t *testing.T) {
+	_, part, dirs := scanFixture(t, 1, 200)
+	col := trace.NewCollector(5)
+	an := NewAnalyzer(10)
+	// Visit a prefix of d0, leaving most of it unvisited.
+	col.BeginEpoch(0)
+	key := rootKey()
+	for _, f := range dirs[0].Children()[:40] {
+		col.Record(key, f, 0)
+	}
+	e := part.Carve(dirs[0])
+	l, r, ok := part.SplitEntry(e.Key)
+	if !ok {
+		t.Fatal("split")
+	}
+	ll := an.ForKey(col, 0, part, l.Key)
+	lr := an.ForKey(col, 0, part, r.Key)
+	if ll.MIndex <= 0 && lr.MIndex <= 0 {
+		t.Fatal("fragments of a partially-scanned dir must anticipate load")
+	}
+	// Both halves hold roughly half the unvisited inodes, so both get
+	// comparable anticipated load.
+	hi, lo := ll.MIndex, lr.MIndex
+	if lo > hi {
+		hi, lo = lo, hi
+	}
+	if lo <= 0 || hi/lo > 4 {
+		t.Fatalf("frag credit too lopsided: %v vs %v", ll.MIndex, lr.MIndex)
+	}
+}
+
+func TestAnalyzerScaleNormalization(t *testing.T) {
+	_, _, dirs := scanFixture(t, 1, 40)
+	col := trace.NewCollector(5)
+	// Same traffic, different epoch lengths: per-second index halves
+	// when the epoch doubles.
+	for e := int64(0); e < 3; e++ {
+		col.BeginEpoch(e)
+		for _, f := range dirs[0].Children() {
+			col.Record(rootKey(), f, e)
+		}
+	}
+	a10 := NewAnalyzer(10).ForDir(col, 2, dirs[0])
+	a20 := NewAnalyzer(20).ForDir(col, 2, dirs[0])
+	if a10.MIndex <= a20.MIndex {
+		t.Fatal("longer epochs must reduce the per-second index")
+	}
+}

@@ -1,0 +1,215 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+)
+
+// quick runs an experiment at reduced scale for tests.
+func quick(t *testing.T, id string) *Result {
+	t.Helper()
+	res, err := Run(id, Options{Scale: 0.25, Seed: 42, MaxTicks: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table1", "fig2", "fig3", "fig4", "fig6", "fig7", "fig8",
+		"fig9", "fig10", "fig11", "fig12a", "fig12b",
+		"fig13a", "fig13b", "fig14", "overhead",
+	}
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Fatalf("experiment %s not registered", id)
+		}
+	}
+	titles := Titles()
+	for _, id := range IDs() {
+		if titles[id] == "" {
+			t.Fatalf("experiment %s has no title", id)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run("nope", Options{}); err == nil {
+		t.Fatal("unknown id must error")
+	}
+}
+
+func TestTable1RatiosMatchPaper(t *testing.T) {
+	res := quick(t, "table1")
+	for _, w := range WorkloadNames {
+		got := res.Values[w+".ratio"]
+		want := res.Values[w+".paper"]
+		if math.Abs(got-want) > 0.03 {
+			t.Fatalf("%s meta ratio %v, paper %v", w, got, want)
+		}
+	}
+}
+
+func TestFig2VanillaSkewsOnCNN(t *testing.T) {
+	res := quick(t, "fig2")
+	// The motivation study: CNN is the most imbalanced workload under
+	// the built-in balancer.
+	if res.Values["CNN.maxShare"] < 0.3 {
+		t.Fatalf("CNN max share %v: vanilla should be badly skewed", res.Values["CNN.maxShare"])
+	}
+	if res.Values["CNN.maxMin"] < res.Values["Zipf.maxMin"] {
+		t.Fatal("CNN must be more skewed than Zipf under vanilla")
+	}
+}
+
+func TestFig4VanillaOverMigrates(t *testing.T) {
+	res := quick(t, "fig4")
+	// The namespace is migrated more than once over (invalid and
+	// repeated migrations).
+	if res.Values["Zipf.ratio"] < 1 {
+		t.Fatalf("Zipf migration ratio %v: expected over-migration", res.Values["Zipf.ratio"])
+	}
+}
+
+func TestFig6LunuleBalancesBest(t *testing.T) {
+	res := quick(t, "fig6")
+	for _, w := range WorkloadNames {
+		lun := res.Values[w+"/Lunule.meanIF"]
+		greedy := res.Values[w+"/GreedySpill.meanIF"]
+		if lun >= greedy {
+			t.Fatalf("%s: Lunule IF %v not below GreedySpill %v", w, lun, greedy)
+		}
+	}
+	// The scan workloads defeat the heat-based vanilla policy.
+	if res.Values["CNN/Lunule.meanIF"] >= res.Values["CNN/Vanilla.meanIF"] {
+		t.Fatal("CNN: Lunule must balance better than Vanilla")
+	}
+}
+
+func TestFig7LunuleThroughput(t *testing.T) {
+	res := quick(t, "fig7")
+	// Lunule improves CNN throughput substantially over all baselines
+	// (paper: 2.81x over Vanilla) and never collapses elsewhere.
+	if res.Values["CNN.lunule-vs-Vanilla"] < 1.2 {
+		t.Fatalf("CNN Lunule/Vanilla = %v, want > 1.2", res.Values["CNN.lunule-vs-Vanilla"])
+	}
+	if res.Values["CNN.lunule-vs-GreedySpill"] < 1.5 {
+		t.Fatalf("CNN Lunule/GreedySpill = %v, want > 1.5", res.Values["CNN.lunule-vs-GreedySpill"])
+	}
+	for _, w := range WorkloadNames {
+		if r := res.Values[w+".lunule-vs-Vanilla"]; r < 0.8 {
+			t.Fatalf("%s: Lunule collapsed vs Vanilla (%v)", w, r)
+		}
+	}
+}
+
+func TestFig12bBenignImbalanceTolerated(t *testing.T) {
+	res := quick(t, "fig12b")
+	if res.Values["phase1.rebalances"] != 0 {
+		t.Fatalf("phase-1 light imbalance triggered %v rebalances, want 0",
+			res.Values["phase1.rebalances"])
+	}
+	// Throughput grows with the client population.
+	if res.Values["phase4.iops"] <= res.Values["phase1.iops"] {
+		t.Fatal("throughput must grow across phases")
+	}
+}
+
+func TestFig13aScalesNearLinearly(t *testing.T) {
+	res := quick(t, "fig13a")
+	if eff := res.Values["mds8.efficiency"]; eff < 0.7 {
+		t.Fatalf("8-MDS efficiency %v, want near-linear", eff)
+	}
+	if res.Values["mds16.peak"] <= res.Values["mds4.peak"] {
+		t.Fatal("peak must grow with cluster size")
+	}
+}
+
+func TestFig13bOrdering(t *testing.T) {
+	res := quick(t, "fig13b")
+	if res.Values["Lunule.mean"] <= res.Values["Dir-Hash.mean"] {
+		t.Fatalf("Lunule (%v) must beat Dir-Hash (%v) on Web",
+			res.Values["Lunule.mean"], res.Values["Dir-Hash.mean"])
+	}
+}
+
+func TestFig14DirHashShape(t *testing.T) {
+	res := quick(t, "fig14")
+	// Dir-Hash: inodes spread evenly (small max/min spread)...
+	if spread := res.Values["Dir-Hash.inodeSpread"]; spread > 2 {
+		t.Fatalf("Dir-Hash inode spread %v, want ~1", spread)
+	}
+	// ...but far more forwards than the dynamic balancers.
+	if res.Values["dirhash-fwd-vs-vanilla"] < 1.5 {
+		t.Fatalf("Dir-Hash forwards ratio %v, want well above 1",
+			res.Values["dirhash-fwd-vs-vanilla"])
+	}
+}
+
+func TestOverheadMatchesPaper(t *testing.T) {
+	res := quick(t, "overhead")
+	// ~0.94 KB per-MDS per-epoch report.
+	if out := res.Values["mds16.lunule.outKB"]; math.Abs(out-0.94) > 0.1 {
+		t.Fatalf("per-MDS out %v KB, paper ~0.94", out)
+	}
+	// ~14.1 KB initiator in-bound at 16 MDSs.
+	if in := res.Values["mds16.lunule.initiatorInKB"]; math.Abs(in-14.1) > 1.5 {
+		t.Fatalf("initiator in %v KB, paper ~14.1", in)
+	}
+	// Centralized collection is cheaper than N-to-N.
+	if res.Values["mds16.lunule.totalKB"] >= res.Values["mds16.vanilla.totalKB"] {
+		t.Fatal("N-to-1 must be cheaper than N-to-N")
+	}
+}
+
+func TestAblationUrgency(t *testing.T) {
+	res := quick(t, "ablation")
+	full := res.Values["urgency/full Lunule.rebalances"]
+	off := res.Values["urgency/urgency off.rebalances"]
+	if full != 0 {
+		t.Fatalf("full Lunule fired %v rebalances on benign skew, want 0", full)
+	}
+	if off <= full {
+		t.Fatalf("urgency-off must fire on benign skew (got %v)", off)
+	}
+}
+
+func TestSharedDirLunuleSplits(t *testing.T) {
+	res := quick(t, "shareddir")
+	if res.Values["lunule-vs-vanilla"] < 1.5 {
+		t.Fatalf("shared-dir speedup %v, want > 1.5", res.Values["lunule-vs-vanilla"])
+	}
+	if res.Values["Lunule.frags"] < 2 {
+		t.Fatalf("Lunule fragments = %v, want > 1", res.Values["Lunule.frags"])
+	}
+	if res.Values["Vanilla.frags"] != 1 {
+		t.Fatalf("Vanilla fragments = %v, want 1 (cannot split)", res.Values["Vanilla.frags"])
+	}
+}
+
+func TestHeteroRunsComplete(t *testing.T) {
+	res := quick(t, "hetero")
+	// The degraded-run throughput must stay positive for both systems
+	// and Lunule must re-stabilize at least as well as Vanilla.
+	lun := res.Values["mid-run degradation/Lunule.mean"]
+	van := res.Values["mid-run degradation/Vanilla.mean"]
+	if lun <= 0 || van <= 0 {
+		t.Fatal("degraded runs must make progress")
+	}
+	if lun < van*0.9 {
+		t.Fatalf("Lunule degraded throughput %v far below Vanilla %v", lun, van)
+	}
+}
+
+func TestResultRendering(t *testing.T) {
+	res := quick(t, "overhead")
+	out := res.String()
+	if len(out) == 0 || res.ID != "overhead" {
+		t.Fatal("result rendering")
+	}
+}

@@ -1,0 +1,35 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteMarkdownReport(t *testing.T) {
+	var b strings.Builder
+	err := WriteMarkdownReport(&b, []string{"table1", "overhead"},
+		Options{Scale: 0.25, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# Lunule reproduction report",
+		"## table1 —",
+		"## overhead —",
+		"| workload | meta-op ratio |",
+		"| --- |",
+		"> ", // at least one note quoted
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q\n---\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteMarkdownReportUnknownID(t *testing.T) {
+	var b strings.Builder
+	if err := WriteMarkdownReport(&b, []string{"nope"}, Options{}); err == nil {
+		t.Fatal("unknown experiment must fail the report")
+	}
+}

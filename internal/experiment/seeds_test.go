@@ -1,0 +1,48 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSeedsAggregates(t *testing.T) {
+	sw, err := RunSeeds("overhead", Options{Scale: 0.25, Seed: 42}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Seeds != 2 || sw.ID != "overhead" {
+		t.Fatal("sweep metadata")
+	}
+	// Overhead is deterministic and seed-independent: std must be 0.
+	for k, std := range sw.Std {
+		if std != 0 {
+			t.Fatalf("std[%s] = %v, want 0 for a seed-independent experiment", k, std)
+		}
+	}
+	if sw.Mean["mds16.lunule.outKB"] <= 0 {
+		t.Fatal("mean missing")
+	}
+	if sw.Last == nil || sw.Last.Table == nil {
+		t.Fatal("last result must carry the rendered tables")
+	}
+	out := sw.String()
+	if !strings.Contains(out, "2 seeds") || !strings.Contains(out, "±") {
+		t.Fatalf("sweep rendering: %q", out)
+	}
+}
+
+func TestRunSeedsClampsToOne(t *testing.T) {
+	sw, err := RunSeeds("overhead", Options{Scale: 0.25}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Seeds != 1 {
+		t.Fatalf("seeds = %d, want clamped to 1", sw.Seeds)
+	}
+}
+
+func TestRunSeedsUnknownID(t *testing.T) {
+	if _, err := RunSeeds("nope", Options{}, 2); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}

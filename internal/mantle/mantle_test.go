@@ -1,0 +1,161 @@
+package mantle
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/namespace"
+	"repro/internal/simtest"
+)
+
+func buildView(t testing.TB, n, nDirs, filesPer int) (*simtest.View, []*namespace.Inode) {
+	t.Helper()
+	tree := namespace.NewTree()
+	data, err := tree.MkdirAll("/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirs []*namespace.Inode
+	for d := 0; d < nDirs; d++ {
+		dir, err := tree.Mkdir(data, fmt.Sprintf("d%03d", d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for f := 0; f < filesPer; f++ {
+			if _, err := tree.Create(dir, fmt.Sprintf("f%04d", f), 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		dirs = append(dirs, dir)
+	}
+	return simtest.New(tree, n), dirs
+}
+
+func heatUp(v *simtest.View, dirs []*namespace.Inode, epochs int) {
+	for e := 0; e < epochs; e++ {
+		for _, d := range dirs {
+			for _, f := range d.Children() {
+				v.ServeN(f, 1, int64(e))
+			}
+		}
+		v.EndEpoch()
+	}
+}
+
+func TestEnvHelpers(t *testing.T) {
+	e := Env{WhoAmI: 1, Loads: []float64{100, 300}, Total: 400}
+	if e.MyLoad() != 300 {
+		t.Fatalf("MyLoad = %v", e.MyLoad())
+	}
+	if e.Mean() != 200 {
+		t.Fatalf("Mean = %v", e.Mean())
+	}
+	empty := Env{WhoAmI: 5}
+	if empty.MyLoad() != 0 || empty.Mean() != 0 {
+		t.Fatal("out-of-range env must be zero")
+	}
+}
+
+func TestGreedySpillPolicyMatchesShape(t *testing.T) {
+	v, dirs := buildView(t, 3, 6, 10)
+	heatUp(v, dirs, 2) // all load on rank 0, neighbour 1 idle
+	b := NewBalancer(GreedySpill())
+	b.Rebalance(v)
+	if v.Mig.QueuedTasks() == 0 {
+		t.Fatal("greedyspill-via-mantle did not spill")
+	}
+	// Everything must target rank 1 (the neighbour).
+	pending1 := v.Mig.PendingFor(0)
+	if len(pending1) == 0 {
+		t.Fatal("no pending exports from rank 0")
+	}
+}
+
+func TestFillHeaviestTargetsEmptiest(t *testing.T) {
+	v, dirs := buildView(t, 4, 8, 10)
+	// Put two dirs on rank 1 so rank 2/3 are the emptiest.
+	for _, d := range dirs[:2] {
+		e := v.Part.Carve(d)
+		v.Part.SetAuth(e.Key, 1)
+	}
+	heatUp(v, dirs, 2)
+	b := NewBalancer(FillHeaviest(0.1))
+	b.Rebalance(v)
+	if v.Mig.QueuedTasks() == 0 {
+		t.Fatal("overloaded rank 0 did not shed")
+	}
+}
+
+func TestSpreadEvenProportions(t *testing.T) {
+	p := SpreadEven(0.1)
+	env := Env{
+		WhoAmI: 0,
+		Loads:  []float64{1000, 100, 300, 0},
+		Total:  1400,
+	}
+	if !p.When(env) {
+		t.Fatal("should trigger above mean")
+	}
+	amount := p.HowMuch(env)
+	if amount != 1000-350 {
+		t.Fatalf("amount = %v", amount)
+	}
+	targets := p.Where(env, amount)
+	sum := 0.0
+	for j, v := range targets {
+		if j == 0 && v != 0 {
+			t.Fatal("self target must be zero")
+		}
+		sum += v
+	}
+	if diff := sum - amount; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("targets sum %v != amount %v", sum, amount)
+	}
+	// The emptiest MDS (rank 3) gets the largest share.
+	if targets[3] <= targets[2] {
+		t.Fatalf("shares not headroom-proportional: %v", targets)
+	}
+}
+
+func TestNilCallbacksNoop(t *testing.T) {
+	v, dirs := buildView(t, 3, 4, 10)
+	heatUp(v, dirs, 2)
+	b := NewBalancer(Policy{PolicyName: "empty"})
+	b.Rebalance(v)
+	if v.Mig.QueuedTasks() != 0 {
+		t.Fatal("policy with nil callbacks must not migrate")
+	}
+}
+
+func TestWhereNilCancels(t *testing.T) {
+	v, dirs := buildView(t, 3, 4, 10)
+	heatUp(v, dirs, 2)
+	b := NewBalancer(Policy{
+		PolicyName: "cancel",
+		When:       func(Env) bool { return true },
+		HowMuch:    func(e Env) float64 { return e.MyLoad() / 2 },
+		Where:      func(Env, float64) []float64 { return nil },
+	})
+	b.Rebalance(v)
+	if v.Mig.QueuedTasks() != 0 {
+		t.Fatal("nil where must cancel the migration")
+	}
+}
+
+func TestName(t *testing.T) {
+	if NewBalancer(GreedySpill()).Name() != "Mantle:GreedySpill" {
+		t.Fatal("name")
+	}
+	if NewBalancer(Policy{}).Name() != "Mantle" {
+		t.Fatal("anonymous name")
+	}
+}
+
+func TestHeartbeatAccounting(t *testing.T) {
+	v, dirs := buildView(t, 3, 4, 10)
+	heatUp(v, dirs, 1)
+	NewBalancer(GreedySpill()).Rebalance(v)
+	if v.Ledg.TotalBytes() == 0 {
+		t.Fatal("mantle must ride the stock heartbeat exchange")
+	}
+}

@@ -1,0 +1,83 @@
+package mantle
+
+// Built-in policies, mirroring the case studies of the Mantle paper.
+
+// GreedySpill is the GIGA+-derived policy: when my neighbour (next
+// rank) is idle and I have load, send half of it there. This is the
+// same policy the simulator's native GreedySpill baseline implements;
+// having it here demonstrates (and tests) the framework's equivalence.
+func GreedySpill() Policy {
+	return Policy{
+		PolicyName: "GreedySpill",
+		When: func(e Env) bool {
+			n := len(e.Loads)
+			if n < 2 {
+				return false
+			}
+			neighbour := (e.WhoAmI + 1) % n
+			return e.MyLoad() > 1 && e.Loads[neighbour] <= 1
+		},
+		HowMuch: func(e Env) float64 { return e.MyLoad() / 2 },
+		Where: func(e Env, amount float64) []float64 {
+			out := make([]float64, len(e.Loads))
+			out[(e.WhoAmI+1)%len(e.Loads)] = amount
+			return out
+		},
+	}
+}
+
+// FillHeaviest sheds everything above the cluster mean to the single
+// emptiest MDS (the "greedy water-filling" shape).
+func FillHeaviest(slack float64) Policy {
+	return Policy{
+		PolicyName: "FillHeaviest",
+		When: func(e Env) bool {
+			return e.MyLoad() > e.Mean()*(1+slack)
+		},
+		HowMuch: func(e Env) float64 { return e.MyLoad() - e.Mean() },
+		Where: func(e Env, amount float64) []float64 {
+			out := make([]float64, len(e.Loads))
+			min := 0
+			for j, l := range e.Loads {
+				if l < e.Loads[min] {
+					min = j
+				}
+			}
+			if min == e.WhoAmI {
+				return nil
+			}
+			out[min] = amount
+			return out
+		},
+	}
+}
+
+// SpreadEven sheds the above-mean excess across every below-mean MDS
+// in proportion to its headroom (the textbook proportional policy).
+func SpreadEven(slack float64) Policy {
+	return Policy{
+		PolicyName: "SpreadEven",
+		When: func(e Env) bool {
+			return e.MyLoad() > e.Mean()*(1+slack)
+		},
+		HowMuch: func(e Env) float64 { return e.MyLoad() - e.Mean() },
+		Where: func(e Env, amount float64) []float64 {
+			mean := e.Mean()
+			out := make([]float64, len(e.Loads))
+			room := 0.0
+			for j, l := range e.Loads {
+				if j != e.WhoAmI && l < mean {
+					out[j] = mean - l
+					room += mean - l
+				}
+			}
+			if room <= 0 {
+				return nil
+			}
+			for j := range out {
+				out[j] = out[j] / room * amount
+			}
+			return out
+		},
+	}
+}

@@ -1,0 +1,293 @@
+package mds
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/namespace"
+)
+
+func fixture(t testing.TB) (*namespace.Tree, *namespace.Partition, []*namespace.Inode) {
+	t.Helper()
+	tr := namespace.NewTree()
+	d, err := tr.Mkdir(tr.Root(), "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := make([]*namespace.Inode, 20)
+	for i := range files {
+		f, err := tr.Create(d, fmt.Sprintf("f%03d", i), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files[i] = f
+	}
+	return tr, namespace.NewPartition(tr, 0), files
+}
+
+func TestServerBudget(t *testing.T) {
+	_, p, files := fixture(t)
+	s := NewServer(0, 3, 4, 0.5)
+	s.BeginTick()
+	e := p.GoverningEntry(files[0])
+	for i := 0; i < 3; i++ {
+		if !s.Serve(e, files[i], 0) {
+			t.Fatalf("serve %d should succeed", i)
+		}
+	}
+	if s.Serve(e, files[3], 0) {
+		t.Fatal("serve beyond capacity must fail")
+	}
+	if s.OpsThisTick() != 3 {
+		t.Fatalf("ops this tick = %d", s.OpsThisTick())
+	}
+	s.BeginTick()
+	if !s.Serve(e, files[4], 0) {
+		t.Fatal("budget must reset on new tick")
+	}
+}
+
+func TestServerForwardChargesBudget(t *testing.T) {
+	s := NewServer(0, 2, 4, 0.5)
+	s.BeginTick()
+	if !s.ConsumeForward() || !s.ConsumeForward() {
+		t.Fatal("forwards within budget must succeed")
+	}
+	if s.ConsumeForward() {
+		t.Fatal("forward beyond budget must fail")
+	}
+	if s.Forwards() != 2 {
+		t.Fatalf("forwards = %d", s.Forwards())
+	}
+}
+
+func TestServerEpochLoadAndHistory(t *testing.T) {
+	_, p, files := fixture(t)
+	s := NewServer(0, 100, 4, 0.5)
+	e := p.GoverningEntry(files[0])
+	for tick := 0; tick < 10; tick++ {
+		s.BeginTick()
+		for i := 0; i < 5; i++ {
+			if !s.Serve(e, files[i], 0) {
+				t.Fatal("serve")
+			}
+		}
+	}
+	load := s.EndEpoch(10)
+	if load != 5 {
+		t.Fatalf("epoch load = %v, want 5 ops/sec", load)
+	}
+	if s.CurrentLoad() != 5 || len(s.LoadHistory()) != 1 {
+		t.Fatal("load history")
+	}
+	// Second epoch with no traffic.
+	if got := s.EndEpoch(10); got != 0 {
+		t.Fatalf("idle epoch load = %v", got)
+	}
+}
+
+func TestServerHeatAccumulatesAndDecays(t *testing.T) {
+	_, p, files := fixture(t)
+	s := NewServer(0, 1000, 4, 0.5)
+	e := p.GoverningEntry(files[0])
+	s.BeginTick()
+	for i := 0; i < 10; i++ {
+		s.Serve(e, files[i], 0)
+	}
+	if s.HeatOfKey(e.Key) != 10 {
+		t.Fatalf("heat = %v", s.HeatOfKey(e.Key))
+	}
+	dirIno := files[0].Parent.Ino
+	if s.HeatOfDir(dirIno) != 10 {
+		t.Fatalf("dir heat = %v", s.HeatOfDir(dirIno))
+	}
+	s.EndEpoch(10)
+	if s.HeatOfKey(e.Key) != 5 {
+		t.Fatalf("decayed heat = %v", s.HeatOfKey(e.Key))
+	}
+	// Heat eventually evaporates completely.
+	for i := 0; i < 20; i++ {
+		s.EndEpoch(10)
+	}
+	if s.HeatOfKey(e.Key) != 0 {
+		t.Fatal("heat should evaporate")
+	}
+}
+
+func TestServerDropSubtreeStats(t *testing.T) {
+	_, p, files := fixture(t)
+	s := NewServer(0, 1000, 4, 0.5)
+	e := p.GoverningEntry(files[0])
+	s.BeginTick()
+	s.Serve(e, files[0], 0)
+	s.DropSubtreeStats(e.Key)
+	if s.HeatOfKey(e.Key) != 0 {
+		t.Fatal("heat not dropped")
+	}
+	if got := s.Collector().RecentKey(e.Key, 0, 1); !got.IsZero() {
+		t.Fatal("trace not dropped")
+	}
+}
+
+func TestMigratorLifecycle(t *testing.T) {
+	tr, p, _ := fixture(t)
+	d, _ := tr.Lookup("/d")
+	e := p.Carve(d)
+	m := NewMigrator(p, 8, 2, 100)
+	task := m.Submit(e.Key, 0, 1, 50, 0)
+	if task.State != TaskQueued || m.QueuedTasks() != 1 {
+		t.Fatal("submit")
+	}
+	m.Tick(0)
+	if task.State != TaskActive || m.ActiveTasks() != 1 {
+		t.Fatalf("task state after tick = %v", task.State)
+	}
+	// 20 inodes at 8/tick -> 3 ticks.
+	if task.DoneTick != 3 {
+		t.Fatalf("DoneTick = %d, want 3", task.DoneTick)
+	}
+	// The subtree stays serviceable during the bulk transfer and
+	// freezes only in the commit window (the last FreezeTicks ticks).
+	if m.IsFrozen(e.Key) {
+		t.Fatal("subtree must not freeze during bulk transfer")
+	}
+	m.Tick(1)
+	m.Tick(2)
+	if task.State != TaskActive {
+		t.Fatal("should still be in flight")
+	}
+	if !m.IsFrozen(e.Key) {
+		t.Fatal("subtree must freeze during the commit window")
+	}
+	m.Tick(3)
+	if task.State != TaskDone {
+		t.Fatal("should have completed")
+	}
+	if m.IsFrozen(e.Key) {
+		t.Fatal("must unfreeze on completion")
+	}
+	if p.AuthOf(tr.Get(d.Children()[0].Ino)) != 1 {
+		t.Fatal("authority must transfer")
+	}
+	if m.MigratedInodes() != 20 {
+		t.Fatalf("migrated inodes = %d", m.MigratedInodes())
+	}
+	if m.CompletedTasks() != 1 {
+		t.Fatal("completed count")
+	}
+}
+
+func TestMigratorConcurrencyBound(t *testing.T) {
+	tr := namespace.NewTree()
+	p := namespace.NewPartition(tr, 0)
+	var keys []namespace.FragKey
+	for i := 0; i < 5; i++ {
+		d, _ := tr.Mkdir(tr.Root(), fmt.Sprintf("d%d", i))
+		for j := 0; j < 30; j++ {
+			if _, err := tr.Create(d, fmt.Sprintf("f%02d", j), 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		keys = append(keys, p.Carve(d).Key)
+	}
+	m := NewMigrator(p, 10, 2, 100)
+	for _, k := range keys {
+		m.Submit(k, 0, 1, 1, 0)
+	}
+	m.Tick(0)
+	if m.ActiveTasks() != 2 {
+		t.Fatalf("active = %d, want 2 (per-exporter bound)", m.ActiveTasks())
+	}
+	if m.QueuedTasks() != 3 {
+		t.Fatalf("queued = %d, want 3", m.QueuedTasks())
+	}
+	// As transfers finish, queued tasks take their slots.
+	for tick := int64(1); tick < 20; tick++ {
+		m.Tick(tick)
+	}
+	if m.CompletedTasks() != 5 {
+		t.Fatalf("completed = %d, want 5", m.CompletedTasks())
+	}
+}
+
+func TestMigratorQueueTTLExpiry(t *testing.T) {
+	tr, p, _ := fixture(t)
+	d, _ := tr.Lookup("/d")
+	e := p.Carve(d)
+	sub, _ := tr.Mkdir(tr.Root(), "other")
+	for j := 0; j < 10; j++ {
+		if _, err := tr.Create(sub, fmt.Sprintf("g%d", j), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e2 := p.Carve(sub)
+	m := NewMigrator(p, 1, 1, 5) // slow transfers, 1 slot, TTL 5
+	m.Submit(e.Key, 0, 1, 1, 0)
+	stale := m.Submit(e2.Key, 0, 1, 1, 0)
+	m.Tick(0) // first activates (20 inodes @ 1/tick = 20 ticks), second queues
+	for tick := int64(1); tick <= 6; tick++ {
+		m.Tick(tick)
+	}
+	if stale.State != TaskDropped {
+		t.Fatalf("stale task state = %v, want dropped", stale.State)
+	}
+	if m.DroppedTasks() != 1 {
+		t.Fatal("dropped count")
+	}
+}
+
+func TestMigratorDropsStaleAuthority(t *testing.T) {
+	tr, p, _ := fixture(t)
+	d, _ := tr.Lookup("/d")
+	e := p.Carve(d)
+	m := NewMigrator(p, 100, 1, 100)
+	task := m.Submit(e.Key, 0, 1, 1, 0)
+	// Authority changes before activation (e.g. another plan moved it).
+	p.SetAuth(e.Key, 2)
+	m.Tick(0)
+	if task.State != TaskDropped {
+		t.Fatalf("task with stale From should drop, got %v", task.State)
+	}
+}
+
+func TestMigratorSelfMigrationDropped(t *testing.T) {
+	tr, p, _ := fixture(t)
+	d, _ := tr.Lookup("/d")
+	e := p.Carve(d)
+	m := NewMigrator(p, 100, 1, 100)
+	task := m.Submit(e.Key, 0, 0, 1, 0)
+	m.Tick(0)
+	if task.State != TaskDropped {
+		t.Fatal("self-migration must be dropped")
+	}
+}
+
+func TestMigratorOnComplete(t *testing.T) {
+	tr, p, _ := fixture(t)
+	d, _ := tr.Lookup("/d")
+	e := p.Carve(d)
+	m := NewMigrator(p, 100, 1, 100)
+	var got *ExportTask
+	m.OnComplete(func(t *ExportTask) { got = t })
+	m.Submit(e.Key, 0, 1, 1, 0)
+	m.Tick(0)
+	m.Tick(1)
+	if got == nil || got.Key != e.Key {
+		t.Fatal("completion callback not invoked")
+	}
+}
+
+func TestMigratorPendingFor(t *testing.T) {
+	tr, p, _ := fixture(t)
+	d, _ := tr.Lookup("/d")
+	e := p.Carve(d)
+	m := NewMigrator(p, 1, 1, 100)
+	m.Submit(e.Key, 0, 1, 1, 0)
+	pend := m.PendingFor(0)
+	if !pend[e.Key] {
+		t.Fatal("pending set missing queued task")
+	}
+	if len(m.PendingFor(3)) != 0 {
+		t.Fatal("pending for unrelated exporter")
+	}
+}

@@ -1,0 +1,254 @@
+package mds
+
+import (
+	"sort"
+
+	"repro/internal/namespace"
+)
+
+// TaskState is the lifecycle state of an export task.
+type TaskState int
+
+// Export task states.
+const (
+	TaskQueued TaskState = iota
+	TaskActive
+	TaskDone
+	TaskDropped
+)
+
+// ExportTask is one planned subtree migration. Tasks move through
+// queued -> active -> done; tasks that become stale before activation
+// (authority changed, subtree absorbed, or queue TTL expired) are
+// dropped, modelling the paper's observation that only a fraction of
+// enqueued exports ever complete within an epoch.
+type ExportTask struct {
+	Key  namespace.FragKey
+	From namespace.MDSID
+	To   namespace.MDSID
+
+	State       TaskState
+	SubmitTick  int64
+	StartTick   int64
+	DoneTick    int64
+	Inodes      int // counted at activation
+	PlannedLoad float64
+}
+
+// Migrator runs subtree migrations with the costs the paper calls out:
+// a transfer duration proportional to the number of migrated inodes, a
+// freeze of the subtree while the two-phase commit is in flight, and a
+// bound on concurrent exports per exporter.
+type Migrator struct {
+	part *namespace.Partition
+
+	// RatePerTick is how many inodes one exporter can ship per tick.
+	RatePerTick int
+	// MaxActivePerExporter bounds concurrent in-flight exports.
+	MaxActivePerExporter int
+	// QueueTTL is how many ticks a queued task stays valid.
+	QueueTTL int64
+	// MinTicks is the fixed two-phase-commit latency of any export
+	// (discovery, freeze, cache invalidation), independent of size.
+	MinTicks int64
+	// FreezeTicks is how long before completion the subtree freezes
+	// (the commit phase); during the rest of the transfer the exporter
+	// keeps serving it, as in CephFS's incremental export.
+	FreezeTicks int64
+
+	queued []*ExportTask
+	active []*ExportTask
+
+	frozen map[namespace.FragKey]bool
+
+	migratedInodes int64 // cumulative, for Figure 4
+	completedTasks int64
+	droppedTasks   int64
+	submitted      int64
+
+	// onComplete is invoked for each finished task (e.g. to drop the
+	// exporter's stats for the subtree).
+	onComplete func(*ExportTask)
+}
+
+// NewMigrator creates a migration engine over the partition.
+func NewMigrator(part *namespace.Partition, ratePerTick, maxActive int, queueTTL int64) *Migrator {
+	if ratePerTick <= 0 {
+		panic("mds: migration rate must be positive")
+	}
+	if maxActive <= 0 {
+		panic("mds: max active exports must be positive")
+	}
+	return &Migrator{
+		part:                 part,
+		RatePerTick:          ratePerTick,
+		MaxActivePerExporter: maxActive,
+		QueueTTL:             queueTTL,
+		MinTicks:             1,
+		FreezeTicks:          1,
+		frozen:               make(map[namespace.FragKey]bool),
+	}
+}
+
+// OnComplete registers a callback invoked when a task finishes.
+func (m *Migrator) OnComplete(fn func(*ExportTask)) { m.onComplete = fn }
+
+// Submit enqueues an export task for the subtree entry at key, shipping
+// it from its current authority to the given importer.
+func (m *Migrator) Submit(key namespace.FragKey, from, to namespace.MDSID, plannedLoad float64, tick int64) *ExportTask {
+	t := &ExportTask{
+		Key:         key,
+		From:        from,
+		To:          to,
+		State:       TaskQueued,
+		SubmitTick:  tick,
+		PlannedLoad: plannedLoad,
+	}
+	m.queued = append(m.queued, t)
+	m.submitted++
+	return t
+}
+
+// IsFrozen reports whether the subtree entry is frozen by an in-flight
+// migration (requests to it must stall).
+func (m *Migrator) IsFrozen(key namespace.FragKey) bool { return m.frozen[key] }
+
+// Tick advances the migration engine by one tick: it completes
+// transfers that finish now, expires stale queued tasks, activates
+// queued tasks up to the per-exporter concurrency bound, and freezes
+// subtrees whose exports enter the commit phase.
+func (m *Migrator) Tick(tick int64) {
+	// Complete finished transfers.
+	var stillActive []*ExportTask
+	for _, t := range m.active {
+		if tick >= t.DoneTick {
+			m.complete(t)
+		} else {
+			stillActive = append(stillActive, t)
+		}
+	}
+	m.active = stillActive
+
+	// Freeze the subtrees in their commit window.
+	for k := range m.frozen {
+		delete(m.frozen, k)
+	}
+	for _, t := range m.active {
+		if t.DoneTick-tick <= m.FreezeTicks {
+			m.frozen[t.Key] = true
+		}
+	}
+
+	// Expire or drop stale queued tasks, then activate what fits.
+	activePer := make(map[namespace.MDSID]int)
+	for _, t := range m.active {
+		activePer[t.From]++
+	}
+	var remaining []*ExportTask
+	for _, t := range m.queued {
+		if m.QueueTTL > 0 && tick-t.SubmitTick >= m.QueueTTL {
+			m.drop(t)
+			continue
+		}
+		e, ok := m.part.EntryAt(t.Key)
+		if !ok || e.Auth != t.From || t.From == t.To {
+			m.drop(t)
+			continue
+		}
+		if activePer[t.From] >= m.MaxActivePerExporter || m.frozen[t.Key] {
+			remaining = append(remaining, t)
+			continue
+		}
+		m.activate(t, tick)
+		activePer[t.From]++
+	}
+	m.queued = remaining
+}
+
+func (m *Migrator) activate(t *ExportTask, tick int64) {
+	t.State = TaskActive
+	t.StartTick = tick
+	t.Inodes = m.part.GovernedInodes(t.Key)
+	dur := int64((t.Inodes + m.RatePerTick - 1) / m.RatePerTick)
+	if dur < m.MinTicks {
+		dur = m.MinTicks // the two-phase commit has a fixed floor cost
+	}
+	if dur < 1 {
+		dur = 1
+	}
+	t.DoneTick = tick + dur
+	if t.DoneTick-tick <= m.FreezeTicks {
+		m.frozen[t.Key] = true
+	}
+	m.active = append(m.active, t)
+}
+
+func (m *Migrator) complete(t *ExportTask) {
+	t.State = TaskDone
+	delete(m.frozen, t.Key)
+	m.part.SetAuth(t.Key, t.To)
+	m.migratedInodes += int64(t.Inodes)
+	m.completedTasks++
+	if m.onComplete != nil {
+		m.onComplete(t)
+	}
+}
+
+func (m *Migrator) drop(t *ExportTask) {
+	t.State = TaskDropped
+	m.droppedTasks++
+}
+
+// MigratedInodes returns the cumulative number of migrated inodes.
+func (m *Migrator) MigratedInodes() int64 { return m.migratedInodes }
+
+// CompletedTasks returns the number of finished exports.
+func (m *Migrator) CompletedTasks() int64 { return m.completedTasks }
+
+// DroppedTasks returns the number of dropped/expired exports.
+func (m *Migrator) DroppedTasks() int64 { return m.droppedTasks }
+
+// SubmittedTasks returns the number of submitted exports.
+func (m *Migrator) SubmittedTasks() int64 { return m.submitted }
+
+// QueuedTasks returns the current queue length (not yet active).
+func (m *Migrator) QueuedTasks() int { return len(m.queued) }
+
+// ActiveTasks returns the number of in-flight exports.
+func (m *Migrator) ActiveTasks() int { return len(m.active) }
+
+// PendingFor returns queued+active export load already planned away
+// from the given exporter, keyed by subtree. Balancers use it to avoid
+// double-planning the same subtree.
+func (m *Migrator) PendingFor(from namespace.MDSID) map[namespace.FragKey]bool {
+	out := make(map[namespace.FragKey]bool)
+	for _, t := range m.queued {
+		if t.From == from {
+			out[t.Key] = true
+		}
+	}
+	for _, t := range m.active {
+		if t.From == from {
+			out[t.Key] = true
+		}
+	}
+	return out
+}
+
+// FrozenKeys returns the frozen subtree entries in deterministic order.
+func (m *Migrator) FrozenKeys() []namespace.FragKey {
+	out := make([]namespace.FragKey, 0, len(m.frozen))
+	for k := range m.frozen {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dir != out[j].Dir {
+			return out[i].Dir < out[j].Dir
+		}
+		if out[i].Frag.Bits != out[j].Frag.Bits {
+			return out[i].Frag.Bits < out[j].Frag.Bits
+		}
+		return out[i].Frag.Value < out[j].Frag.Value
+	})
+	return out
+}

@@ -1,0 +1,183 @@
+// Package mds models the metadata servers of the cluster: bounded
+// per-tick service capacity, request accounting, the access statistics
+// the balancers read (cutting-window trace for Lunule, decayed
+// popularity/heat for the CephFS built-in policy), and the subtree
+// migration engine with its two-phase-commit cost model (transfer
+// latency, freeze windows, bounded concurrency, and queueing).
+package mds
+
+import (
+	"repro/internal/namespace"
+	"repro/internal/trace"
+)
+
+// Server is one metadata server (one MDS rank).
+type Server struct {
+	ID       namespace.MDSID
+	Capacity int // metadata ops the server can process per tick
+
+	budget      int   // remaining capacity in the current tick
+	opsTick     int   // ops served this tick
+	opsEpoch    int64 // ops served this epoch
+	opsTotal    int64 // ops served overall
+	fwdTotal    int64 // forwarding units served overall
+	stallsTotal int64 // requests stalled here (no budget or frozen target)
+
+	collector *trace.Collector
+
+	heatDecay float64
+	heatByKey map[namespace.FragKey]float64
+	heatByDir map[namespace.Ino]float64
+
+	loadHistory []float64 // per-epoch load (ops/sec), appended by EndEpoch
+}
+
+// NewServer creates an MDS with the given per-tick capacity. The
+// collector retains historyWindows cutting windows; heatDecay in (0,1]
+// is the per-epoch multiplicative decay of the popularity counters
+// (CephFS-style exponential aging).
+func NewServer(id namespace.MDSID, capacity, historyWindows int, heatDecay float64) *Server {
+	if capacity <= 0 {
+		panic("mds: capacity must be positive")
+	}
+	if heatDecay <= 0 || heatDecay > 1 {
+		panic("mds: heat decay must be in (0, 1]")
+	}
+	return &Server{
+		ID:        id,
+		Capacity:  capacity,
+		collector: trace.NewCollector(historyWindows),
+		heatDecay: heatDecay,
+		heatByKey: make(map[namespace.FragKey]float64),
+		heatByDir: make(map[namespace.Ino]float64),
+	}
+}
+
+// BeginTick resets the per-tick service budget.
+func (s *Server) BeginTick() {
+	s.budget = s.Capacity
+	s.opsTick = 0
+}
+
+// SetCapacity changes the server's per-tick capacity (heterogeneous
+// hardware, degradation injection). It takes effect at the next tick.
+func (s *Server) SetCapacity(capacity int) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	s.Capacity = capacity
+}
+
+// HasBudget reports whether the server can accept more work this tick.
+func (s *Server) HasBudget() bool { return s.budget > 0 }
+
+// ConsumeForward charges one forwarding unit (a request relayed through
+// this server on its way to the authoritative MDS). It returns false
+// without charging when the server is saturated.
+func (s *Server) ConsumeForward() bool {
+	if s.budget <= 0 {
+		return false
+	}
+	s.budget--
+	s.fwdTotal++
+	return true
+}
+
+// Serve processes one metadata access to in, governed by subtree entry
+// e, during the given epoch. It returns false without side effects when
+// the server is saturated this tick.
+func (s *Server) Serve(e namespace.Entry, in *namespace.Inode, epoch int64) bool {
+	if s.budget <= 0 {
+		return false
+	}
+	s.budget--
+	s.opsTick++
+	s.opsEpoch++
+	s.opsTotal++
+	s.collector.Record(e.Key, in, epoch)
+	s.addHeat(e.Key, in)
+	return true
+}
+
+// NoteStall records a request that could not be served this tick.
+func (s *Server) NoteStall() { s.stallsTotal++ }
+
+func (s *Server) addHeat(key namespace.FragKey, in *namespace.Inode) {
+	s.heatByKey[key]++
+	for d := in.Parent; d != nil; d = d.Parent {
+		s.heatByDir[d.Ino]++
+		if d.Ino == key.Dir {
+			break
+		}
+	}
+}
+
+// EndEpoch closes the current epoch: it computes the epoch's load in
+// ops/sec (epochTicks ticks of one second each), appends it to the load
+// history, decays the popularity counters, and resets the epoch
+// counter. It returns the epoch load.
+func (s *Server) EndEpoch(epochTicks int) float64 {
+	if epochTicks <= 0 {
+		epochTicks = 1
+	}
+	load := float64(s.opsEpoch) / float64(epochTicks)
+	s.loadHistory = append(s.loadHistory, load)
+	s.opsEpoch = 0
+	for k, v := range s.heatByKey {
+		v *= s.heatDecay
+		if v < 0.01 {
+			delete(s.heatByKey, k)
+		} else {
+			s.heatByKey[k] = v
+		}
+	}
+	for k, v := range s.heatByDir {
+		v *= s.heatDecay
+		if v < 0.01 {
+			delete(s.heatByDir, k)
+		} else {
+			s.heatByDir[k] = v
+		}
+	}
+	return load
+}
+
+// Collector returns the server's cutting-window trace collector.
+func (s *Server) Collector() *trace.Collector { return s.collector }
+
+// HeatOfKey returns the decayed popularity of a subtree entry.
+func (s *Server) HeatOfKey(key namespace.FragKey) float64 { return s.heatByKey[key] }
+
+// HeatOfDir returns the decayed popularity accumulated at a directory.
+func (s *Server) HeatOfDir(ino namespace.Ino) float64 { return s.heatByDir[ino] }
+
+// DropSubtreeStats clears trace and heat state for a subtree that has
+// been migrated away.
+func (s *Server) DropSubtreeStats(key namespace.FragKey) {
+	s.collector.Forget(key)
+	delete(s.heatByKey, key)
+}
+
+// LoadHistory returns the per-epoch load series (ops/sec). The returned
+// slice is shared; callers must not modify it.
+func (s *Server) LoadHistory() []float64 { return s.loadHistory }
+
+// CurrentLoad returns the most recent completed epoch's load, or 0.
+func (s *Server) CurrentLoad() float64 {
+	if len(s.loadHistory) == 0 {
+		return 0
+	}
+	return s.loadHistory[len(s.loadHistory)-1]
+}
+
+// OpsThisTick returns the ops served in the current tick so far.
+func (s *Server) OpsThisTick() int { return s.opsTick }
+
+// OpsTotal returns the total metadata ops served.
+func (s *Server) OpsTotal() int64 { return s.opsTotal }
+
+// Forwards returns the total forwarding units served.
+func (s *Server) Forwards() int64 { return s.fwdTotal }
+
+// Stalls returns the total requests that stalled at this server.
+func (s *Server) Stalls() int64 { return s.stallsTotal }

@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// WriteCSV emits the recorder's per-tick series as CSV: one row per
+// tick with the aggregate throughput, each MDS's throughput, and the
+// cumulative migration/forward counters, so external tooling can plot
+// the figures.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	header := []string{"tick", "agg_iops"}
+	for i := range r.PerMDS {
+		header = append(header, fmt.Sprintf("mds%d_iops", i+1))
+	}
+	header = append(header, "migrated_inodes", "forwards")
+	if _, err := io.WriteString(w, strings.Join(header, ",")+"\n"); err != nil {
+		return err
+	}
+	for row := 0; row < r.Agg.Len(); row++ {
+		cells := []string{
+			fmt.Sprintf("%d", r.Agg.Ticks[row]),
+			fmt.Sprintf("%.0f", r.Agg.Values[row]),
+		}
+		for _, s := range r.PerMDS {
+			cells = append(cells, seriesCellAt(s, r.Agg.Ticks[row]))
+		}
+		cells = append(cells,
+			valueCell(&r.Migrated, row),
+			valueCell(&r.Forwards, row),
+		)
+		if _, err := io.WriteString(w, strings.Join(cells, ",")+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteEpochCSV emits the per-epoch imbalance series as CSV.
+func (r *Recorder) WriteEpochCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, "tick,imbalance_factor,cov\n"); err != nil {
+		return err
+	}
+	for i := 0; i < r.IF.Len(); i++ {
+		line := fmt.Sprintf("%d,%.4f,%.4f\n", r.IF.Ticks[i], r.IF.Values[i], r.CoV.Values[i])
+		if _, err := io.WriteString(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// seriesCellAt returns the series value at the given tick, or empty
+// when the series starts later (an MDS added mid-run).
+func seriesCellAt(s *stats.Series, tick int64) string {
+	if s.Len() == 0 || s.Ticks[0] > tick {
+		return ""
+	}
+	idx := int(tick - s.Ticks[0])
+	if idx < 0 || idx >= s.Len() || s.Ticks[idx] != tick {
+		// Fallback: linear scan (series with gaps).
+		for i, t := range s.Ticks {
+			if t == tick {
+				return fmt.Sprintf("%.0f", s.Values[i])
+			}
+		}
+		return ""
+	}
+	return fmt.Sprintf("%.0f", s.Values[idx])
+}
+
+func valueCell(s *stats.Series, row int) string {
+	if row >= s.Len() {
+		return ""
+	}
+	return fmt.Sprintf("%.0f", s.Values[row])
+}

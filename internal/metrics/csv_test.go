@@ -1,0 +1,64 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	r := NewRecorder(2)
+	r.SampleTick(0, []int{100, 50}, 10, 1)
+	r.SampleTick(1, []int{200, 60}, 20, 2)
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want header + 2 rows", len(lines))
+	}
+	if lines[0] != "tick,agg_iops,mds1_iops,mds2_iops,migrated_inodes,forwards" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "0,150,100,50,10,1" {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+	if lines[2] != "1,260,200,60,20,2" {
+		t.Fatalf("row 2 = %q", lines[2])
+	}
+}
+
+func TestWriteCSVLateJoiningMDS(t *testing.T) {
+	r := NewRecorder(1)
+	r.SampleTick(0, []int{10}, 0, 0)
+	r.SampleTick(1, []int{10, 5}, 0, 0) // MDS 2 joins at tick 1
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	// The late MDS's tick-0 cell is empty.
+	if !strings.Contains(lines[1], "0,10,10,,") {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "1,15,10,5,") {
+		t.Fatalf("row 2 = %q", lines[2])
+	}
+}
+
+func TestWriteEpochCSV(t *testing.T) {
+	r := NewRecorder(1)
+	r.SampleEpoch(9, 0.5, 1.2)
+	r.SampleEpoch(19, 0.25, 0.6)
+	var b strings.Builder
+	if err := r.WriteEpochCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 || lines[0] != "tick,imbalance_factor,cov" {
+		t.Fatalf("csv = %q", b.String())
+	}
+	if lines[1] != "9,0.5000,1.2000" {
+		t.Fatalf("row = %q", lines[1])
+	}
+}

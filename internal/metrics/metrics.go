@@ -1,0 +1,297 @@
+// Package metrics records and summarizes what the experiments measure:
+// per-MDS and aggregate throughput series, imbalance-factor series,
+// cumulative migrated inodes, forwarding counts, and job completion
+// times — the quantities behind every figure of the paper's evaluation.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Recorder accumulates one simulation run's measurements.
+type Recorder struct {
+	// PerMDS[i] is MDS i's served ops per tick (IOPS, ticks are 1s).
+	PerMDS []*stats.Series
+	// Agg is the cluster-aggregate IOPS per tick.
+	Agg stats.Series
+	// IF is the per-epoch imbalance factor (stamped with the tick).
+	IF stats.Series
+	// CoV is the per-epoch raw coefficient of variation.
+	CoV stats.Series
+	// Migrated is the cumulative migrated-inode count per tick.
+	Migrated stats.Series
+	// Forwards is the cumulative inter-MDS forward count per tick.
+	Forwards stats.Series
+	// JCT holds each finished client's completion tick.
+	JCT []float64
+
+	// latency histograms per-op service latency in ticks: index i
+	// counts ops completed with latency i+1; the final slot is the
+	// overflow bucket.
+	latency    [maxLatencyBucket]int64
+	latencyN   int64
+	latencySum int64
+}
+
+// maxLatencyBucket caps the latency histogram (ops slower than this
+// land in the overflow slot).
+const maxLatencyBucket = 256
+
+// NewRecorder creates a recorder for an n-MDS cluster.
+func NewRecorder(n int) *Recorder {
+	r := &Recorder{}
+	r.GrowMDS(n)
+	return r
+}
+
+// GrowMDS extends the per-MDS series set to at least n.
+func (r *Recorder) GrowMDS(n int) {
+	for len(r.PerMDS) < n {
+		r.PerMDS = append(r.PerMDS, &stats.Series{})
+	}
+}
+
+// SampleTick records one tick's served ops per MDS plus the cumulative
+// migration and forwarding counters.
+func (r *Recorder) SampleTick(tick int64, perMDS []int, migrated, forwards int64) {
+	r.GrowMDS(len(perMDS))
+	total := 0
+	for i, v := range perMDS {
+		r.PerMDS[i].Append(tick, float64(v))
+		total += v
+	}
+	r.Agg.Append(tick, float64(total))
+	r.Migrated.Append(tick, float64(migrated))
+	r.Forwards.Append(tick, float64(forwards))
+}
+
+// SampleEpoch records the epoch-boundary imbalance evaluation.
+func (r *Recorder) SampleEpoch(tick int64, ifv, cov float64) {
+	r.IF.Append(tick, ifv)
+	r.CoV.Append(tick, cov)
+}
+
+// AddJCT records a client completion time.
+func (r *Recorder) AddJCT(tick int64) { r.JCT = append(r.JCT, float64(tick)) }
+
+// AddLatency records one op's service latency in ticks (>= 1).
+func (r *Recorder) AddLatency(ticks int64) {
+	if ticks < 1 {
+		ticks = 1
+	}
+	idx := ticks - 1
+	if idx >= maxLatencyBucket {
+		idx = maxLatencyBucket - 1
+	}
+	r.latency[idx]++
+	r.latencyN++
+	r.latencySum += ticks
+}
+
+// MeanLatency returns the average op latency in ticks (0 if none).
+func (r *Recorder) MeanLatency() float64 {
+	if r.latencyN == 0 {
+		return 0
+	}
+	return float64(r.latencySum) / float64(r.latencyN)
+}
+
+// LatencyQuantile returns the q-quantile op latency in ticks from the
+// histogram (the overflow bucket reports the cap).
+func (r *Recorder) LatencyQuantile(q float64) float64 {
+	if r.latencyN == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q * float64(r.latencyN-1))
+	var seen int64
+	for i, n := range r.latency {
+		seen += n
+		if seen > target {
+			return float64(i + 1)
+		}
+	}
+	return maxLatencyBucket
+}
+
+// MeanIF returns the run's average imbalance factor.
+func (r *Recorder) MeanIF() float64 { return r.IF.MeanValue() }
+
+// TailIF returns the mean IF of the last k epochs.
+func (r *Recorder) TailIF(k int) float64 { return r.IF.Tail(k) }
+
+// PeakThroughput returns the maximum window-averaged aggregate IOPS
+// (window in ticks), the "peak throughput" of Figures 7 and 13.
+func (r *Recorder) PeakThroughput(window int) float64 {
+	if window < 1 {
+		window = 1
+	}
+	vals := r.Agg.Values
+	if len(vals) == 0 {
+		return 0
+	}
+	if window > len(vals) {
+		window = len(vals)
+	}
+	sum := 0.0
+	for _, v := range vals[:window] {
+		sum += v
+	}
+	best := sum
+	for i := window; i < len(vals); i++ {
+		sum += vals[i] - vals[i-window]
+		if sum > best {
+			best = sum
+		}
+	}
+	return best / float64(window)
+}
+
+// MeanThroughput returns the run-average aggregate IOPS over the ticks
+// where any work happened (trailing idle ticks excluded).
+func (r *Recorder) MeanThroughput() float64 {
+	vals := r.Agg.Values
+	end := len(vals)
+	for end > 0 && vals[end-1] == 0 {
+		end--
+	}
+	if end == 0 {
+		return 0
+	}
+	return stats.Mean(vals[:end])
+}
+
+// TotalOps returns the total ops served across the run.
+func (r *Recorder) TotalOps() float64 { return stats.Sum(r.Agg.Values) }
+
+// ShareOfRequests returns each MDS's fraction of all served requests
+// (Figure 2's distribution).
+func (r *Recorder) ShareOfRequests() []float64 {
+	total := r.TotalOps()
+	out := make([]float64, len(r.PerMDS))
+	if total == 0 {
+		return out
+	}
+	for i, s := range r.PerMDS {
+		out[i] = stats.Sum(s.Values) / total
+	}
+	return out
+}
+
+// JCTQuantile returns the q-quantile job completion time.
+func (r *Recorder) JCTQuantile(q float64) float64 {
+	return stats.Percentile(r.JCT, q)
+}
+
+// JCTMax returns the slowest client's completion time.
+func (r *Recorder) JCTMax() float64 { return stats.Max(r.JCT) }
+
+// MigratedTotal returns the final cumulative migrated-inode count.
+func (r *Recorder) MigratedTotal() float64 { return r.Migrated.Last() }
+
+// ForwardsTotal returns the final cumulative forward count.
+func (r *Recorder) ForwardsTotal() float64 { return r.Forwards.Last() }
+
+// Downsample returns (tick, value) pairs of the series averaged into at
+// most buckets windows — compact series for textual figure output.
+func Downsample(s *stats.Series, buckets int) [][2]float64 {
+	n := s.Len()
+	if n == 0 || buckets <= 0 {
+		return nil
+	}
+	if buckets > n {
+		buckets = n
+	}
+	out := make([][2]float64, 0, buckets)
+	per := float64(n) / float64(buckets)
+	for b := 0; b < buckets; b++ {
+		lo := int(float64(b) * per)
+		hi := int(float64(b+1) * per)
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		sum := 0.0
+		for i := lo; i < hi; i++ {
+			sum += s.Values[i]
+		}
+		out = append(out, [2]float64{float64(s.Ticks[hi-1]), sum / float64(hi-lo)})
+	}
+	return out
+}
+
+// FormatSeries renders a downsampled series as "t=v" pairs.
+func FormatSeries(s *stats.Series, buckets int) string {
+	var b strings.Builder
+	for i, p := range Downsample(s, buckets) {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%d=%.1f", int64(p[0]), p[1])
+	}
+	return b.String()
+}
+
+// Table renders rows as a fixed-width text table with a header.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// SortedCopy returns a sorted copy of xs (ascending).
+func SortedCopy(xs []float64) []float64 {
+	out := append([]float64(nil), xs...)
+	sort.Float64s(out)
+	return out
+}

@@ -1,0 +1,65 @@
+package metrics
+
+import (
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// sparkLevels are the eight block glyphs a sparkline is drawn with.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders the series as a row of block glyphs, downsampled
+// into at most width buckets and scaled to the series' own maximum —
+// a terminal-friendly rendition of the paper's time-series figures.
+func Sparkline(s *stats.Series, width int) string {
+	pts := Downsample(s, width)
+	if len(pts) == 0 {
+		return ""
+	}
+	max := 0.0
+	for _, p := range pts {
+		if p[1] > max {
+			max = p[1]
+		}
+	}
+	var b strings.Builder
+	for _, p := range pts {
+		idx := 0
+		if max > 0 {
+			idx = int(p[1] / max * float64(len(sparkLevels)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkLevels) {
+			idx = len(sparkLevels) - 1
+		}
+		b.WriteRune(sparkLevels[idx])
+	}
+	return b.String()
+}
+
+// SparklineScaled renders the series against an external maximum so
+// several sparklines (e.g. per-MDS throughput rows) share one scale.
+func SparklineScaled(s *stats.Series, width int, max float64) string {
+	pts := Downsample(s, width)
+	if len(pts) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, p := range pts {
+		idx := 0
+		if max > 0 {
+			idx = int(p[1] / max * float64(len(sparkLevels)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkLevels) {
+			idx = len(sparkLevels) - 1
+		}
+		b.WriteRune(sparkLevels[idx])
+	}
+	return b.String()
+}

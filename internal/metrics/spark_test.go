@@ -1,0 +1,65 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+
+	"repro/internal/stats"
+)
+
+func TestSparklineShape(t *testing.T) {
+	var s stats.Series
+	for i := 0; i < 64; i++ {
+		s.Append(int64(i), float64(i))
+	}
+	sp := Sparkline(&s, 8)
+	if utf8.RuneCountInString(sp) != 8 {
+		t.Fatalf("sparkline width = %d", utf8.RuneCountInString(sp))
+	}
+	runes := []rune(sp)
+	if runes[0] == runes[len(runes)-1] {
+		t.Fatal("rising series must start low and end high")
+	}
+	if runes[len(runes)-1] != '█' {
+		t.Fatalf("peak glyph = %q", runes[len(runes)-1])
+	}
+}
+
+func TestSparklineFlatAndEmpty(t *testing.T) {
+	var s stats.Series
+	for i := 0; i < 10; i++ {
+		s.Append(int64(i), 5)
+	}
+	sp := Sparkline(&s, 5)
+	if strings.Trim(sp, "█") != "" {
+		t.Fatalf("flat series should be all-peak: %q", sp)
+	}
+	var zero stats.Series
+	for i := 0; i < 10; i++ {
+		zero.Append(int64(i), 0)
+	}
+	if strings.Trim(Sparkline(&zero, 5), "▁") != "" {
+		t.Fatal("zero series should be all-floor")
+	}
+	var empty stats.Series
+	if Sparkline(&empty, 5) != "" {
+		t.Fatal("empty series renders empty")
+	}
+}
+
+func TestSparklineScaledShared(t *testing.T) {
+	var a, b stats.Series
+	for i := 0; i < 10; i++ {
+		a.Append(int64(i), 100)
+		b.Append(int64(i), 50)
+	}
+	sa := SparklineScaled(&a, 5, 100)
+	sb := SparklineScaled(&b, 5, 100)
+	if sa == sb {
+		t.Fatal("shared scaling must differentiate 100 from 50")
+	}
+	if strings.Trim(sa, "█") != "" {
+		t.Fatalf("full-scale series should be all-peak: %q", sa)
+	}
+}

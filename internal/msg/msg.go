@@ -1,0 +1,165 @@
+// Package msg models the control-plane messages the balancers exchange
+// and accounts for their network cost. Lunule replaces the CephFS
+// decentralized N-to-N heartbeat exchange with a centralized N-to-1
+// collection (Imbalance State messages to the Migration Initiator,
+// Migration Decision messages back to exporters); the paper's §3.4
+// quantifies the resulting per-epoch byte overhead, which this package
+// reproduces.
+package msg
+
+import "fmt"
+
+// Kind enumerates the control-plane message types.
+type Kind int
+
+// Message kinds.
+const (
+	// KindHeartbeat is the original CephFS balancer heartbeat, sent by
+	// every MDS to every other MDS each epoch (N-to-N).
+	KindHeartbeat Kind = iota
+	// KindImbalanceState is Lunule's per-epoch load report from each
+	// MDS to the Migration Initiator (N-to-1). It carries the MDS rank
+	// and its metadata request rate.
+	KindImbalanceState
+	// KindMigrationDecision carries one exporter's assigned migration
+	// amounts from the Migration Initiator back to that exporter.
+	KindMigrationDecision
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindHeartbeat:
+		return "Heartbeat"
+	case KindImbalanceState:
+		return "ImbalanceState"
+	case KindMigrationDecision:
+		return "MigrationDecision"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Wire sizes in bytes. The payloads are tiny; almost all of the cost is
+// the fixed Ceph messenger envelope (header, footer, auth), which is
+// why the paper reports ~0.94 KB per Imbalance State message.
+const (
+	envelopeBytes = 934
+	// HeartbeatBytes is the size of one CephFS MDS balancer heartbeat,
+	// which carries the full load vector of the sender and grows with
+	// cluster size.
+	heartbeatBaseBytes    = envelopeBytes
+	heartbeatPerMDSBytes  = 48
+	imbalanceStateBytes   = envelopeBytes + 12 // rank (4) + request rate (8)
+	migrationDecisionBase = envelopeBytes
+	migrationDecisionPer  = 16 // importer rank + amount per pair
+)
+
+// SizeHeartbeat returns the size of one heartbeat in an n-MDS cluster.
+func SizeHeartbeat(n int) int { return heartbeatBaseBytes + n*heartbeatPerMDSBytes }
+
+// SizeImbalanceState returns the size of one Imbalance State message.
+func SizeImbalanceState() int { return imbalanceStateBytes }
+
+// SizeMigrationDecision returns the size of a decision message listing
+// the given number of exporter-importer pairs.
+func SizeMigrationDecision(pairs int) int {
+	return migrationDecisionBase + pairs*migrationDecisionPer
+}
+
+// Ledger accumulates per-MDS in/out byte counts for control messages.
+type Ledger struct {
+	in    []int64
+	out   []int64
+	count map[Kind]int64
+}
+
+// NewLedger creates a ledger for an n-MDS cluster.
+func NewLedger(n int) *Ledger {
+	return &Ledger{
+		in:    make([]int64, n),
+		out:   make([]int64, n),
+		count: make(map[Kind]int64),
+	}
+}
+
+// Grow extends the ledger to cover at least n MDSs.
+func (l *Ledger) Grow(n int) {
+	for len(l.in) < n {
+		l.in = append(l.in, 0)
+		l.out = append(l.out, 0)
+	}
+}
+
+// Send records one message of the given kind and size from src to dst.
+func (l *Ledger) Send(kind Kind, src, dst, size int) {
+	l.Grow(max(src, dst) + 1)
+	l.out[src] += int64(size)
+	l.in[dst] += int64(size)
+	l.count[kind]++
+}
+
+// InBytes returns the bytes received by the MDS.
+func (l *Ledger) InBytes(mds int) int64 {
+	if mds >= len(l.in) {
+		return 0
+	}
+	return l.in[mds]
+}
+
+// OutBytes returns the bytes sent by the MDS.
+func (l *Ledger) OutBytes(mds int) int64 {
+	if mds >= len(l.out) {
+		return 0
+	}
+	return l.out[mds]
+}
+
+// Count returns the number of messages of the given kind.
+func (l *Ledger) Count(kind Kind) int64 { return l.count[kind] }
+
+// TotalBytes returns the total bytes sent across the cluster.
+func (l *Ledger) TotalBytes() int64 {
+	var t int64
+	for _, v := range l.out {
+		t += v
+	}
+	return t
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// EpochVanilla records one epoch of the CephFS N-to-N heartbeat
+// exchange among n MDSs.
+func (l *Ledger) EpochVanilla(n int) {
+	size := SizeHeartbeat(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			l.Send(KindHeartbeat, i, j, size)
+		}
+	}
+}
+
+// EpochLunule records one epoch of Lunule's centralized exchange among
+// n MDSs with the initiator at the given rank: every other MDS sends
+// one Imbalance State to the initiator, and the initiator sends one
+// decision message per exporter in the plan.
+func (l *Ledger) EpochLunule(n, initiator int, exporters []int, pairsPerExporter int) {
+	for i := 0; i < n; i++ {
+		if i == initiator {
+			continue
+		}
+		l.Send(KindImbalanceState, i, initiator, SizeImbalanceState())
+	}
+	for _, e := range exporters {
+		l.Send(KindMigrationDecision, initiator, e, SizeMigrationDecision(pairsPerExporter))
+	}
+}

@@ -1,0 +1,231 @@
+package namespace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// buildRandomNamespace creates a three-level tree driven by the fuzz
+// bytes: top dirs, nested dirs, and files.
+func buildRandomNamespace(shape []uint8) *Tree {
+	tr := NewTree()
+	if len(shape) == 0 {
+		return tr
+	}
+	tops := int(shape[0]%4) + 2
+	for t := 0; t < tops; t++ {
+		top, _ := tr.Mkdir(tr.Root(), fileName("top", t))
+		subs := int(shape[t%len(shape)]%3) + 1
+		for s := 0; s < subs; s++ {
+			sub, _ := tr.Mkdir(top, fileName("sub", s))
+			files := int(shape[(t+s)%len(shape)]%8) + 1
+			for f := 0; f < files; f++ {
+				_, _ = tr.Create(sub, fileName("f", f), int64(f))
+			}
+		}
+	}
+	return tr
+}
+
+// applyRandomPartition carves and splits based on the ops bytes and
+// returns the partition.
+func applyRandomPartition(tr *Tree, ops []uint8, nMDS int) *Partition {
+	p := NewPartition(tr, 0)
+	var dirs []*Inode
+	tr.Walk(func(in *Inode) bool {
+		if in.IsDir && in.Parent != nil {
+			dirs = append(dirs, in)
+		}
+		return true
+	})
+	if len(dirs) == 0 {
+		return p
+	}
+	for i, op := range ops {
+		d := dirs[int(op)%len(dirs)]
+		switch op % 3 {
+		case 0, 1:
+			if len(p.EntriesAt(d.Ino)) == 0 {
+				e := p.Carve(d)
+				p.SetAuth(e.Key, MDSID(int(op)%nMDS))
+			}
+		case 2:
+			es := p.EntriesAt(d.Ino)
+			if len(es) == 1 && len(d.ChildrenInFrag(es[0].Key.Frag)) > 1 {
+				l, r, ok := p.SplitEntry(es[0].Key)
+				if ok {
+					p.SetAuth(l.Key, MDSID(i%nMDS))
+					p.SetAuth(r.Key, MDSID((i+1)%nMDS))
+				}
+			}
+		}
+	}
+	return p
+}
+
+// TestResolveChainConsistency: for every inode and any partition shape,
+// the chain's last element is the governing authority, the chain has no
+// adjacent duplicates, and its length-1 equals ResolveWithHops' count.
+func TestResolveChainConsistency(t *testing.T) {
+	f := func(shape, ops []uint8) bool {
+		tr := buildRandomNamespace(shape)
+		p := applyRandomPartition(tr, ops, 5)
+		ok := true
+		tr.Walk(func(in *Inode) bool {
+			chain, entry := p.ResolveChain(in)
+			if len(chain) == 0 {
+				ok = false
+				return false
+			}
+			if chain[len(chain)-1] != entry.Auth {
+				ok = false
+				return false
+			}
+			if entry.Auth != p.AuthOf(in) {
+				ok = false
+				return false
+			}
+			for i := 1; i < len(chain); i++ {
+				if chain[i] == chain[i-1] {
+					ok = false
+					return false
+				}
+			}
+			e2, hops := p.ResolveWithHops(in)
+			if e2 != entry || hops != len(chain)-1 {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGovernedSizesTotalProperty: under any carve/split sequence, the
+// governed sizes stay non-negative and sum to the namespace size.
+func TestGovernedSizesTotalProperty(t *testing.T) {
+	f := func(shape, ops []uint8) bool {
+		tr := buildRandomNamespace(shape)
+		p := applyRandomPartition(tr, ops, 5)
+		total := 0
+		for _, sz := range p.SubtreeSizes() {
+			if sz < 0 {
+				return false
+			}
+			total += sz
+		}
+		return total == tr.NumInodes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInodesPerMDSTotalProperty: per-MDS inode counts also sum to the
+// namespace size.
+func TestInodesPerMDSTotalProperty(t *testing.T) {
+	f := func(shape, ops []uint8) bool {
+		tr := buildRandomNamespace(shape)
+		p := applyRandomPartition(tr, ops, 4)
+		total := 0
+		for _, n := range p.InodesPerMDS(4) {
+			if n < 0 {
+				return false
+			}
+			total += n
+		}
+		return total == tr.NumInodes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAbsorbRestoresEnclosingAuth: carving a dir, re-assigning it, and
+// absorbing it returns every inode to the enclosing subtree's authority.
+func TestAbsorbRestoresEnclosingAuth(t *testing.T) {
+	f := func(shape []uint8, pick uint8) bool {
+		tr := buildRandomNamespace(shape)
+		p := NewPartition(tr, 0)
+		var dirs []*Inode
+		tr.Walk(func(in *Inode) bool {
+			if in.IsDir && in.Parent != nil {
+				dirs = append(dirs, in)
+			}
+			return true
+		})
+		if len(dirs) == 0 {
+			return true
+		}
+		d := dirs[int(pick)%len(dirs)]
+
+		before := make(map[Ino]MDSID)
+		tr.Walk(func(in *Inode) bool {
+			before[in.Ino] = p.AuthOf(in)
+			return true
+		})
+		e := p.Carve(d)
+		p.SetAuth(e.Key, 3)
+		if !p.Absorb(e.Key) {
+			return false
+		}
+		ok := true
+		tr.Walk(func(in *Inode) bool {
+			if p.AuthOf(in) != before[in.Ino] {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVisitedCountsBounded: VisitedDesc/VisitedFiles never exceed the
+// subtree totals under random visit sequences.
+func TestVisitedCountsBounded(t *testing.T) {
+	f := func(shape []uint8, visits []uint16) bool {
+		tr := buildRandomNamespace(shape)
+		var files []*Inode
+		tr.Walk(func(in *Inode) bool {
+			if !in.IsDir {
+				files = append(files, in)
+			}
+			return true
+		})
+		if len(files) == 0 {
+			return true
+		}
+		for _, v := range visits {
+			in := files[int(v)%len(files)]
+			if !in.Hot.EverAccessed() {
+				in.MarkVisited()
+			}
+			in.Hot.Touch(int64(v % 7))
+		}
+		ok := true
+		tr.Walk(func(in *Inode) bool {
+			u, total := in.UnvisitedBelow()
+			if in.IsDir && (u < 0 || u > total || total != in.SubtreeFiles()) {
+				ok = false
+				return false
+			}
+			if in.VisitedDesc > in.SubtreeInodes() {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,400 @@
+package namespace
+
+import (
+	"errors"
+	"strings"
+)
+
+// Ino is a unique inode number.
+type Ino uint64
+
+// RootIno is the inode number of the root directory.
+const RootIno Ino = 1
+
+// Common namespace errors.
+var (
+	ErrExists   = errors.New("namespace: entry already exists")
+	ErrNotFound = errors.New("namespace: entry not found")
+	ErrNotDir   = errors.New("namespace: not a directory")
+	ErrIsDir    = errors.New("namespace: is a directory")
+	ErrBadName  = errors.New("namespace: invalid name")
+	ErrIsRoot   = errors.New("namespace: operation not valid on root")
+	ErrNotEmpty = errors.New("namespace: directory not empty")
+)
+
+// Inode is a node in the namespace tree: either a directory (with
+// children) or a file. The Hot field carries the per-inode access
+// history the paper's stats-recording keeps (a boolean queue of the
+// last n epochs); it belongs to the inode in the real implementation
+// too, so it lives here rather than in a side table.
+type Inode struct {
+	Ino    Ino
+	Name   string
+	Parent *Inode
+	IsDir  bool
+	Size   int64 // file size in bytes; 0 for directories
+
+	children map[string]*Inode
+	order    []*Inode // insertion-ordered children for deterministic walks
+
+	// subInodes is the number of inodes in the subtree rooted here,
+	// including this inode itself. Maintained incrementally on create
+	// and remove so subtree sizing during migration planning is O(1).
+	subInodes int
+
+	// subFiles is the number of regular files in the subtree rooted
+	// here (a file counts itself). It sizes the unvisited-volume
+	// estimates: directory inodes are containers, not scan targets.
+	subFiles int
+
+	// nameHash caches HashName(Name) for fragment membership tests.
+	nameHash uint32
+
+	// Hot is the runtime access-history annotation.
+	Hot Hot
+
+	// VisitedDesc counts the inodes in the subtree rooted here
+	// (including this inode) that have ever been accessed. It is
+	// maintained by the trace collector on first-ever visits and feeds
+	// the spatial-locality factor beta (the unvisited-inode ratio).
+	VisitedDesc int
+
+	// VisitedFiles counts only the regular files among VisitedDesc.
+	VisitedFiles int
+}
+
+// MarkVisited records this inode's first-ever access on every ancestor's
+// visited-descendant counter. Callers must invoke it exactly once per
+// inode (the trace collector does, on the first access).
+func (in *Inode) MarkVisited() {
+	isFile := !in.IsDir
+	for a := in; a != nil; a = a.Parent {
+		a.VisitedDesc++
+		if isFile {
+			a.VisitedFiles++
+		}
+	}
+}
+
+// UnvisitedBelow returns how many of the regular files in this
+// directory's subtree have never been accessed, together with the
+// subtree's total file count. Directory inodes are excluded: they are
+// containers, not scan targets, and counting them would make fully
+// scanned regions look partially unvisited.
+func (in *Inode) UnvisitedBelow() (unvisited, total int) {
+	total = in.subFiles
+	u := total - in.VisitedFiles
+	if u < 0 {
+		u = 0
+	}
+	return u, total
+}
+
+// SubtreeFiles returns the number of regular files at and below this
+// inode.
+func (in *Inode) SubtreeFiles() int { return in.subFiles }
+
+// SubtreeInodes returns the number of inodes at and below this inode.
+func (in *Inode) SubtreeInodes() int { return in.subInodes }
+
+// NameHash returns the cached fragment hash of the inode's name.
+func (in *Inode) NameHash() uint32 { return in.nameHash }
+
+// NumChildren returns the number of direct children (0 for files).
+func (in *Inode) NumChildren() int { return len(in.order) }
+
+// Child returns the named child, or nil.
+func (in *Inode) Child(name string) *Inode {
+	if in.children == nil {
+		return nil
+	}
+	return in.children[name]
+}
+
+// Children returns the direct children in insertion order. The returned
+// slice is shared; callers must not modify it.
+func (in *Inode) Children() []*Inode { return in.order }
+
+// ChildrenInFrag returns the direct children whose name hash falls in
+// frag, in insertion order.
+func (in *Inode) ChildrenInFrag(f Frag) []*Inode {
+	if f.IsWhole() {
+		return in.order
+	}
+	var out []*Inode
+	for _, c := range in.order {
+		if f.Contains(c.nameHash) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Path returns the absolute path of the inode ("/" for the root).
+func (in *Inode) Path() string {
+	if in.Parent == nil {
+		return "/"
+	}
+	var parts []string
+	for n := in; n.Parent != nil; n = n.Parent {
+		parts = append(parts, n.Name)
+	}
+	var b strings.Builder
+	for i := len(parts) - 1; i >= 0; i-- {
+		b.WriteByte('/')
+		b.WriteString(parts[i])
+	}
+	return b.String()
+}
+
+// Depth returns the number of edges from the root (0 for the root).
+func (in *Inode) Depth() int {
+	d := 0
+	for n := in; n.Parent != nil; n = n.Parent {
+		d++
+	}
+	return d
+}
+
+// IsAncestorOf reports whether in is a strict ancestor of other.
+func (in *Inode) IsAncestorOf(other *Inode) bool {
+	for n := other.Parent; n != nil; n = n.Parent {
+		if n == in {
+			return true
+		}
+	}
+	return false
+}
+
+// Tree is the namespace: a rooted inode hierarchy with an inode-number
+// registry. Tree is not safe for concurrent mutation; the simulator is
+// single-threaded per cluster by design (determinism).
+type Tree struct {
+	root   *Inode
+	byIno  map[Ino]*Inode
+	nextIn Ino
+}
+
+// NewTree creates a namespace containing only the root directory.
+func NewTree() *Tree {
+	root := &Inode{
+		Ino:       RootIno,
+		Name:      "",
+		IsDir:     true,
+		children:  make(map[string]*Inode),
+		subInodes: 1,
+		nameHash:  HashName(""),
+	}
+	return &Tree{
+		root:   root,
+		byIno:  map[Ino]*Inode{RootIno: root},
+		nextIn: RootIno + 1,
+	}
+}
+
+// Root returns the root directory inode.
+func (t *Tree) Root() *Inode { return t.root }
+
+// Get returns the inode with the given number, or nil.
+func (t *Tree) Get(ino Ino) *Inode { return t.byIno[ino] }
+
+// NumInodes returns the total number of inodes in the tree.
+func (t *Tree) NumInodes() int { return t.root.subInodes }
+
+func (t *Tree) attach(parent *Inode, name string, isDir bool, size int64) (*Inode, error) {
+	if parent == nil || !parent.IsDir {
+		return nil, ErrNotDir
+	}
+	if name == "" || strings.ContainsRune(name, '/') {
+		return nil, ErrBadName
+	}
+	if parent.children[name] != nil {
+		return nil, ErrExists
+	}
+	in := &Inode{
+		Ino:       t.nextIn,
+		Name:      name,
+		Parent:    parent,
+		IsDir:     isDir,
+		Size:      size,
+		subInodes: 1,
+		nameHash:  HashName(name),
+	}
+	if isDir {
+		in.children = make(map[string]*Inode)
+	} else {
+		in.subFiles = 1
+	}
+	t.nextIn++
+	parent.children[name] = in
+	parent.order = append(parent.order, in)
+	t.byIno[in.Ino] = in
+	for a := parent; a != nil; a = a.Parent {
+		a.subInodes++
+		a.subFiles += in.subFiles
+	}
+	return in, nil
+}
+
+// Mkdir creates a directory under parent.
+func (t *Tree) Mkdir(parent *Inode, name string) (*Inode, error) {
+	return t.attach(parent, name, true, 0)
+}
+
+// Create creates a file of the given size under parent.
+func (t *Tree) Create(parent *Inode, name string, size int64) (*Inode, error) {
+	return t.attach(parent, name, false, size)
+}
+
+// MkdirAll creates every directory along path (like mkdir -p) and
+// returns the final one. Path components are separated by '/'.
+func (t *Tree) MkdirAll(path string) (*Inode, error) {
+	cur := t.root
+	for _, part := range splitPath(path) {
+		next := cur.Child(part)
+		if next == nil {
+			var err error
+			next, err = t.Mkdir(cur, part)
+			if err != nil {
+				return nil, err
+			}
+		} else if !next.IsDir {
+			return nil, ErrNotDir
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// Lookup resolves an absolute path to an inode.
+func (t *Tree) Lookup(path string) (*Inode, error) {
+	cur := t.root
+	for _, part := range splitPath(path) {
+		if !cur.IsDir {
+			return nil, ErrNotDir
+		}
+		next := cur.Child(part)
+		if next == nil {
+			return nil, ErrNotFound
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// Remove detaches a file or an empty directory from the tree.
+func (t *Tree) Remove(in *Inode) error {
+	if in.Parent == nil {
+		return ErrIsRoot
+	}
+	if in.IsDir && len(in.order) > 0 {
+		return ErrNotEmpty
+	}
+	p := in.Parent
+	delete(p.children, in.Name)
+	for i, c := range p.order {
+		if c == in {
+			p.order = append(p.order[:i], p.order[i+1:]...)
+			break
+		}
+	}
+	delete(t.byIno, in.Ino)
+	for a := p; a != nil; a = a.Parent {
+		a.subInodes--
+		a.subFiles -= in.subFiles
+		a.VisitedDesc -= in.VisitedDesc
+		a.VisitedFiles -= in.VisitedFiles
+	}
+	in.Parent = nil
+	return nil
+}
+
+// Walk visits every inode in depth-first, insertion order, starting at
+// the root. If fn returns false the walk stops.
+func (t *Tree) Walk(fn func(*Inode) bool) {
+	var rec func(*Inode) bool
+	rec = func(in *Inode) bool {
+		if !fn(in) {
+			return false
+		}
+		for _, c := range in.order {
+			if !rec(c) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(t.root)
+}
+
+func splitPath(path string) []string {
+	var parts []string
+	for _, p := range strings.Split(path, "/") {
+		if p != "" {
+			parts = append(parts, p)
+		}
+	}
+	return parts
+}
+
+// Hot is the per-inode access history used by the paper's stats
+// recording: a boolean queue of the last n epochs (implemented as a
+// 64-bit shift register) plus a total access counter. The pattern
+// analyzer reads it to classify accesses as recurrent (temporal
+// locality) or first-visit (spatial locality).
+type Hot struct {
+	// Bits holds one bit per recent epoch; bit 0 is the current epoch.
+	Bits uint64
+	// Epoch is the epoch Bits was last shifted to.
+	Epoch int64
+	// Count is the total number of accesses ever.
+	Count uint32
+}
+
+// Touch records an access during the given epoch and reports whether
+// the inode had ever been accessed before this call.
+func (h *Hot) Touch(epoch int64) (seenBefore bool) {
+	seenBefore = h.Count > 0
+	h.advance(epoch)
+	h.Bits |= 1
+	h.Count++
+	return seenBefore
+}
+
+func (h *Hot) advance(epoch int64) {
+	if epoch <= h.Epoch {
+		return
+	}
+	shift := epoch - h.Epoch
+	if shift >= 64 {
+		h.Bits = 0
+	} else {
+		h.Bits <<= uint(shift)
+	}
+	h.Epoch = epoch
+}
+
+// AccessedIn reports whether the inode was accessed during the given
+// epoch (within the 64-epoch window).
+func (h *Hot) AccessedIn(epoch int64) bool {
+	d := h.Epoch - epoch
+	if d < 0 || d >= 64 {
+		return false
+	}
+	return h.Bits&(1<<uint(d)) != 0
+}
+
+// RecentEpochs returns in how many of the last n epochs (ending at the
+// given epoch) the inode was accessed.
+func (h *Hot) RecentEpochs(epoch int64, n int) int {
+	cnt := 0
+	for i := int64(0); i < int64(n); i++ {
+		if h.AccessedIn(epoch - i) {
+			cnt++
+		}
+	}
+	return cnt
+}
+
+// EverAccessed reports whether the inode has ever been accessed.
+func (h *Hot) EverAccessed() bool { return h.Count > 0 }

@@ -1,0 +1,311 @@
+package namespace
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func fileName(prefix string, i int) string { return fmt.Sprintf("%s%05d", prefix, i) }
+
+func buildSmallTree(t testing.TB) *Tree {
+	t.Helper()
+	tr := NewTree()
+	must := func(in *Inode, err error) *Inode {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return in
+	}
+	a := must(tr.Mkdir(tr.Root(), "a"))
+	b := must(tr.Mkdir(tr.Root(), "b"))
+	must(tr.Create(a, "f1", 100))
+	must(tr.Create(a, "f2", 200))
+	sub := must(tr.Mkdir(b, "sub"))
+	must(tr.Create(sub, "f3", 300))
+	return tr
+}
+
+func TestTreeBasics(t *testing.T) {
+	tr := buildSmallTree(t)
+	if tr.NumInodes() != 7 {
+		t.Fatalf("NumInodes = %d, want 7", tr.NumInodes())
+	}
+	f3, err := tr.Lookup("/b/sub/f3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f3.Size != 300 || f3.IsDir {
+		t.Fatal("f3 attributes")
+	}
+	if f3.Path() != "/b/sub/f3" {
+		t.Fatalf("Path = %q", f3.Path())
+	}
+	if f3.Depth() != 3 {
+		t.Fatalf("Depth = %d", f3.Depth())
+	}
+	if tr.Root().Path() != "/" {
+		t.Fatal("root path")
+	}
+	if tr.Get(f3.Ino) != f3 {
+		t.Fatal("Get by ino")
+	}
+}
+
+func TestLookupErrors(t *testing.T) {
+	tr := buildSmallTree(t)
+	if _, err := tr.Lookup("/nope"); err != ErrNotFound {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+	if _, err := tr.Lookup("/a/f1/x"); err != ErrNotDir {
+		t.Fatalf("want ErrNotDir, got %v", err)
+	}
+}
+
+func TestCreateErrors(t *testing.T) {
+	tr := buildSmallTree(t)
+	a, _ := tr.Lookup("/a")
+	if _, err := tr.Create(a, "f1", 1); err != ErrExists {
+		t.Fatalf("want ErrExists, got %v", err)
+	}
+	if _, err := tr.Create(a, "x/y", 1); err != ErrBadName {
+		t.Fatalf("want ErrBadName, got %v", err)
+	}
+	if _, err := tr.Create(a, "", 1); err != ErrBadName {
+		t.Fatalf("want ErrBadName, got %v", err)
+	}
+	f1, _ := tr.Lookup("/a/f1")
+	if _, err := tr.Create(f1, "child", 1); err != ErrNotDir {
+		t.Fatalf("want ErrNotDir, got %v", err)
+	}
+}
+
+func TestMkdirAll(t *testing.T) {
+	tr := NewTree()
+	d, err := tr.MkdirAll("/x/y/z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Path() != "/x/y/z" {
+		t.Fatalf("Path = %q", d.Path())
+	}
+	// Idempotent.
+	d2, err := tr.MkdirAll("/x/y/z")
+	if err != nil || d2 != d {
+		t.Fatal("MkdirAll not idempotent")
+	}
+	// Fails across a file.
+	x, _ := tr.Lookup("/x")
+	if _, err := tr.Create(x, "file", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.MkdirAll("/x/file/deep"); err != ErrNotDir {
+		t.Fatalf("want ErrNotDir, got %v", err)
+	}
+}
+
+func TestSubtreeCountsInvariant(t *testing.T) {
+	tr := buildSmallTree(t)
+	// Each inode's subInodes equals 1 + sum of children's.
+	ok := true
+	tr.Walk(func(in *Inode) bool {
+		sum := 1
+		for _, c := range in.Children() {
+			sum += c.SubtreeInodes()
+		}
+		if in.SubtreeInodes() != sum {
+			ok = false
+			return false
+		}
+		return true
+	})
+	if !ok {
+		t.Fatal("subtree count invariant violated")
+	}
+}
+
+func TestSubtreeCountsProperty(t *testing.T) {
+	// Random create sequences keep the count invariant and the total.
+	f := func(ops []uint16) bool {
+		tr := NewTree()
+		dirs := []*Inode{tr.Root()}
+		created := 1
+		for i, op := range ops {
+			parent := dirs[int(op)%len(dirs)]
+			if op%3 == 0 {
+				d, err := tr.Mkdir(parent, fileName("d", i))
+				if err != nil {
+					return false
+				}
+				dirs = append(dirs, d)
+			} else {
+				if _, err := tr.Create(parent, fileName("f", i), int64(op)); err != nil {
+					return false
+				}
+			}
+			created++
+		}
+		if tr.NumInodes() != created {
+			return false
+		}
+		good := true
+		tr.Walk(func(in *Inode) bool {
+			sum := 1
+			for _, c := range in.Children() {
+				sum += c.SubtreeInodes()
+			}
+			if in.SubtreeInodes() != sum {
+				good = false
+				return false
+			}
+			return true
+		})
+		return good
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	tr := buildSmallTree(t)
+	f1, _ := tr.Lookup("/a/f1")
+	before := tr.NumInodes()
+	if err := tr.Remove(f1); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumInodes() != before-1 {
+		t.Fatal("count after remove")
+	}
+	if _, err := tr.Lookup("/a/f1"); err != ErrNotFound {
+		t.Fatal("removed file still found")
+	}
+	b, _ := tr.Lookup("/b")
+	if err := tr.Remove(b); err != ErrNotEmpty {
+		t.Fatalf("want ErrNotEmpty, got %v", err)
+	}
+	if err := tr.Remove(tr.Root()); err != ErrIsRoot {
+		t.Fatalf("want ErrIsRoot, got %v", err)
+	}
+}
+
+func TestWalkOrderDeterministic(t *testing.T) {
+	tr := buildSmallTree(t)
+	var paths []string
+	tr.Walk(func(in *Inode) bool {
+		paths = append(paths, in.Path())
+		return true
+	})
+	want := []string{"/", "/a", "/a/f1", "/a/f2", "/b", "/b/sub", "/b/sub/f3"}
+	if len(paths) != len(want) {
+		t.Fatalf("walk visited %d nodes, want %d", len(paths), len(want))
+	}
+	for i := range want {
+		if paths[i] != want[i] {
+			t.Fatalf("walk order[%d] = %q, want %q", i, paths[i], want[i])
+		}
+	}
+}
+
+func TestWalkEarlyStop(t *testing.T) {
+	tr := buildSmallTree(t)
+	n := 0
+	tr.Walk(func(in *Inode) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("walk visited %d after stop, want 3", n)
+	}
+}
+
+func TestChildrenInFrag(t *testing.T) {
+	tr := NewTree()
+	d, _ := tr.Mkdir(tr.Root(), "d")
+	for i := 0; i < 200; i++ {
+		if _, err := tr.Create(d, fileName("f", i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l, r := WholeFrag.Split()
+	nl := len(d.ChildrenInFrag(l))
+	nr := len(d.ChildrenInFrag(r))
+	if nl+nr != 200 {
+		t.Fatalf("frag children %d + %d != 200", nl, nr)
+	}
+	if nl == 0 || nr == 0 {
+		t.Fatal("one half empty; hash split badly unbalanced")
+	}
+	if len(d.ChildrenInFrag(WholeFrag)) != 200 {
+		t.Fatal("whole frag must cover all children")
+	}
+}
+
+func TestIsAncestorOf(t *testing.T) {
+	tr := buildSmallTree(t)
+	b, _ := tr.Lookup("/b")
+	f3, _ := tr.Lookup("/b/sub/f3")
+	if !b.IsAncestorOf(f3) {
+		t.Fatal("b should be ancestor of f3")
+	}
+	if f3.IsAncestorOf(b) {
+		t.Fatal("f3 is not ancestor of b")
+	}
+	if b.IsAncestorOf(b) {
+		t.Fatal("strict ancestry should exclude self")
+	}
+	if !tr.Root().IsAncestorOf(f3) {
+		t.Fatal("root is ancestor of everything")
+	}
+}
+
+func TestHotTouchAndWindow(t *testing.T) {
+	var h Hot
+	if h.EverAccessed() {
+		t.Fatal("fresh inode should be unvisited")
+	}
+	seen := h.Touch(5)
+	if seen {
+		t.Fatal("first touch must report unseen")
+	}
+	if !h.Touch(5) {
+		t.Fatal("second touch must report seen")
+	}
+	if !h.AccessedIn(5) {
+		t.Fatal("AccessedIn(5)")
+	}
+	h.Touch(7)
+	if !h.AccessedIn(7) || !h.AccessedIn(5) || h.AccessedIn(6) {
+		t.Fatal("epoch bit bookkeeping wrong")
+	}
+	if h.RecentEpochs(7, 3) != 2 {
+		t.Fatalf("RecentEpochs = %d, want 2", h.RecentEpochs(7, 3))
+	}
+	if h.Count != 3 {
+		t.Fatalf("Count = %d", h.Count)
+	}
+}
+
+func TestHotWindowExpiry(t *testing.T) {
+	var h Hot
+	h.Touch(0)
+	h.Touch(100) // shift > 64 clears old bits
+	if h.AccessedIn(0) {
+		t.Fatal("epoch 0 should have fallen out of the 64-epoch window")
+	}
+	if !h.AccessedIn(100) {
+		t.Fatal("epoch 100 should be set")
+	}
+	if !h.EverAccessed() {
+		t.Fatal("count survives window expiry")
+	}
+}
+
+func TestHotFutureEpochQuery(t *testing.T) {
+	var h Hot
+	h.Touch(5)
+	if h.AccessedIn(9) {
+		t.Fatal("future epoch cannot have been accessed")
+	}
+}

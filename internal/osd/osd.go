@@ -1,0 +1,62 @@
+// Package osd models the data path for end-to-end experiments: a pool
+// of object storage daemons with an aggregate per-tick bandwidth
+// budget. Clients acquire bandwidth to move their file data; when the
+// pool is drained, clients block — which is exactly the effect the
+// paper's Figure 8 measures (the data path diluting metadata-side
+// gains).
+package osd
+
+// Pool is a bandwidth-limited OSD cluster.
+type Pool struct {
+	osds       int
+	perOSD     int64 // bytes per tick per OSD
+	budget     int64 // remaining bytes this tick
+	granted    int64 // total bytes granted overall
+	grantTicks int64
+}
+
+// NewPool creates a pool of n OSDs, each contributing bandwidthPerTick
+// bytes per tick.
+func NewPool(n int, bandwidthPerTick int64) *Pool {
+	if n < 0 {
+		n = 0
+	}
+	return &Pool{osds: n, perOSD: bandwidthPerTick}
+}
+
+// OSDs returns the current pool size.
+func (p *Pool) OSDs() int { return p.osds }
+
+// AddOSDs grows the pool (cluster expansion experiments).
+func (p *Pool) AddOSDs(k int) {
+	if k > 0 {
+		p.osds += k
+	}
+}
+
+// BeginTick refills the tick's bandwidth budget.
+func (p *Pool) BeginTick() {
+	p.budget = int64(p.osds) * p.perOSD
+	p.grantTicks++
+}
+
+// Consume grants up to want bytes from the remaining budget and
+// returns the granted amount.
+func (p *Pool) Consume(want int64) int64 {
+	if want <= 0 || p.budget <= 0 {
+		return 0
+	}
+	g := want
+	if g > p.budget {
+		g = p.budget
+	}
+	p.budget -= g
+	p.granted += g
+	return g
+}
+
+// Remaining returns the unconsumed budget of the current tick.
+func (p *Pool) Remaining() int64 { return p.budget }
+
+// GrantedTotal returns the total bytes moved through the pool.
+func (p *Pool) GrantedTotal() int64 { return p.granted }

@@ -1,0 +1,58 @@
+package osd
+
+import "testing"
+
+func TestPoolBudget(t *testing.T) {
+	p := NewPool(2, 100)
+	p.BeginTick()
+	if p.Remaining() != 200 {
+		t.Fatalf("budget = %d", p.Remaining())
+	}
+	if got := p.Consume(150); got != 150 {
+		t.Fatalf("consume = %d", got)
+	}
+	if got := p.Consume(100); got != 50 {
+		t.Fatalf("over-consume granted %d, want 50", got)
+	}
+	if got := p.Consume(10); got != 0 {
+		t.Fatal("drained pool must grant 0")
+	}
+	p.BeginTick()
+	if p.Remaining() != 200 {
+		t.Fatal("budget must refill per tick")
+	}
+	if p.GrantedTotal() != 200 {
+		t.Fatalf("granted total = %d", p.GrantedTotal())
+	}
+}
+
+func TestPoolDegenerate(t *testing.T) {
+	p := NewPool(0, 100)
+	p.BeginTick()
+	if p.Consume(10) != 0 {
+		t.Fatal("empty pool grants nothing")
+	}
+	if p.Consume(-5) != 0 {
+		t.Fatal("negative want")
+	}
+	neg := NewPool(-3, 100)
+	if neg.OSDs() != 0 {
+		t.Fatal("negative size clamps to 0")
+	}
+}
+
+func TestPoolExpansion(t *testing.T) {
+	p := NewPool(2, 100)
+	p.AddOSDs(3)
+	if p.OSDs() != 5 {
+		t.Fatalf("osds = %d", p.OSDs())
+	}
+	p.AddOSDs(-1) // ignored
+	if p.OSDs() != 5 {
+		t.Fatal("negative growth must be ignored")
+	}
+	p.BeginTick()
+	if p.Remaining() != 500 {
+		t.Fatalf("expanded budget = %d", p.Remaining())
+	}
+}

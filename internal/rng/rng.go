@@ -1,0 +1,185 @@
+// Package rng provides a small, deterministic pseudo-random number
+// generator used throughout the simulator. Every component that needs
+// randomness derives a Source from the experiment seed so that entire
+// simulation runs are bit-for-bit reproducible.
+//
+// The generator is splitmix64: tiny state, excellent statistical quality
+// for simulation purposes, and trivially seedable. It is NOT
+// cryptographically secure and must never be used for security purposes.
+package rng
+
+import "math"
+
+// Source is a deterministic pseudo-random source. The zero value is a
+// valid generator seeded with 0; prefer New to make seeding explicit.
+type Source struct {
+	state uint64
+}
+
+// New returns a Source seeded with seed. Two Sources created with the
+// same seed produce identical streams.
+func New(seed uint64) *Source {
+	return &Source{state: seed}
+}
+
+// Fork derives a new independent Source from s. The derived stream is a
+// deterministic function of s's current state, so forking at the same
+// point in two identical runs yields identical children. The label
+// decorrelates children forked back to back.
+func (s *Source) Fork(label uint64) *Source {
+	return New(s.Uint64() ^ (label * 0x9e3779b97f4a7c15))
+}
+
+// Uint64 returns the next value of the splitmix64 stream.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Source) Float64() float64 {
+	// 53 high-quality bits -> [0,1) with full double precision.
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform value in [0, n). It panics if n <= 0.
+func (s *Source) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("rng: Int63n called with n <= 0")
+	}
+	return int64(s.Uint64() % uint64(n))
+}
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool {
+	return s.Float64() < p
+}
+
+// Perm returns a random permutation of [0, n).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	s.ShuffleInts(p)
+	return p
+}
+
+// ShuffleInts shuffles xs in place (Fisher-Yates).
+func (s *Source) ShuffleInts(xs []int) {
+	for i := len(xs) - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+// Shuffle shuffles n elements using the provided swap function.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// NormFloat64 returns a normally distributed value with mean 0 and
+// stddev 1, using the Box-Muller transform.
+func (s *Source) NormFloat64() float64 {
+	for {
+		u1 := s.Float64()
+		u2 := s.Float64()
+		if u1 <= 1e-300 {
+			continue
+		}
+		return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	}
+}
+
+// ExpFloat64 returns an exponentially distributed value with rate 1.
+func (s *Source) ExpFloat64() float64 {
+	for {
+		u := s.Float64()
+		if u <= 1e-300 {
+			continue
+		}
+		return -math.Log(u)
+	}
+}
+
+// Zipf samples from a Zipf(s=exponent) distribution over [0, n). It uses
+// a precomputed cumulative table, which makes construction O(n) and
+// sampling O(log n); the simulator's Zipf populations (10k files per
+// client directory) are small enough that the table is the simplest
+// correct choice.
+type Zipf struct {
+	src *Source
+	cum []float64 // cum[i] = P(X <= i)
+}
+
+// NewZipf builds a sampler over [0, n) with the given exponent. An
+// exponent near 0.98 yields the classic "80% of accesses to 20% of
+// files" shape used by the paper's Filebench workload. It panics if
+// n <= 0 or exponent < 0.
+func NewZipf(src *Source, exponent float64, n int) *Zipf {
+	if n <= 0 {
+		panic("rng: NewZipf called with n <= 0")
+	}
+	if exponent < 0 {
+		panic("rng: NewZipf called with negative exponent")
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), exponent)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &Zipf{src: src, cum: cum}
+}
+
+// N returns the population size.
+func (z *Zipf) N() int { return len(z.cum) }
+
+// Next returns the next sample in [0, N()). Rank 0 is the most popular.
+func (z *Zipf) Next() int {
+	u := z.src.Float64()
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// HeadMass returns the probability mass of the top frac of the
+// population, e.g. HeadMass(0.2) reports how much traffic the most
+// popular 20% of items receive.
+func (z *Zipf) HeadMass(frac float64) float64 {
+	if len(z.cum) == 0 {
+		return 0
+	}
+	k := int(frac * float64(len(z.cum)))
+	if k <= 0 {
+		return 0
+	}
+	if k > len(z.cum) {
+		k = len(z.cum)
+	}
+	return z.cum[k-1]
+}

@@ -1,0 +1,260 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d identical values out of 100", same)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Fork(1)
+	c2 := parent.Fork(2)
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("forked children with different labels produced same first value")
+	}
+}
+
+func TestForkReproducible(t *testing.T) {
+	a := New(7).Fork(3)
+	b := New(7).Fork(3)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("forked streams diverged at %d", i)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(9)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(11)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(13)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := s.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Intn(7) only produced %d distinct values", len(seen))
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(17)
+	p := s.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestPermProperty(t *testing.T) {
+	s := New(19)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := s.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		sum := 0
+		for _, v := range p {
+			sum += v
+		}
+		return sum == n*(n-1)/2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(23)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) hit rate %v", frac)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	s := New(29)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean %v", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal variance %v", variance)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	s := New(31)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.ExpFloat64()
+	}
+	if math.Abs(sum/n-1) > 0.02 {
+		t.Fatalf("exponential mean %v", sum/n)
+	}
+}
+
+func TestZipfRange(t *testing.T) {
+	s := New(37)
+	z := NewZipf(s, 0.98, 100)
+	for i := 0; i < 10000; i++ {
+		v := z.Next()
+		if v < 0 || v >= 100 {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	// With exponent ~0.98 over 10000 items, the top 20% should draw
+	// roughly 80% of the samples (the paper's Filebench shape).
+	s := New(41)
+	z := NewZipf(s, 0.98, 10000)
+	head := z.HeadMass(0.2)
+	if head < 0.7 || head > 0.9 {
+		t.Fatalf("top-20%% mass = %v, want ~0.8", head)
+	}
+	const n = 200000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if z.Next() < 2000 {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-head) > 0.02 {
+		t.Fatalf("empirical head mass %v vs analytic %v", frac, head)
+	}
+}
+
+func TestZipfUniformWhenExponentZero(t *testing.T) {
+	s := New(43)
+	z := NewZipf(s, 0, 10)
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / n
+		if math.Abs(frac-0.1) > 0.01 {
+			t.Fatalf("bucket %d frac %v, want ~0.1", i, frac)
+		}
+	}
+}
+
+func TestZipfRankOrdering(t *testing.T) {
+	s := New(47)
+	z := NewZipf(s, 1.1, 50)
+	counts := make([]int, 50)
+	for i := 0; i < 200000; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] <= counts[10] || counts[10] <= counts[40] {
+		t.Fatalf("zipf counts not rank-ordered: %v %v %v", counts[0], counts[10], counts[40])
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewZipf(n=0) did not panic")
+		}
+	}()
+	NewZipf(New(1), 1, 0)
+}
+
+func TestShuffleSwapCount(t *testing.T) {
+	s := New(53)
+	xs := []string{"a", "b", "c", "d", "e"}
+	orig := append([]string(nil), xs...)
+	s.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := make(map[string]bool)
+	for _, v := range xs {
+		seen[v] = true
+	}
+	for _, v := range orig {
+		if !seen[v] {
+			t.Fatalf("shuffle lost element %q", v)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Package sim provides the deterministic discrete-event plumbing the
+// cluster loop schedules against: a tick-ordered event queue with
+// stable FIFO ordering for same-tick events. Determinism matters — two
+// events scheduled for the same tick must always fire in submission
+// order, or seeded runs would diverge.
+package sim
+
+import "container/heap"
+
+// Event is a callback scheduled for a tick.
+type Event struct {
+	Tick int64
+	Fn   func()
+
+	seq int // submission order breaks same-tick ties
+}
+
+// Queue is a deterministic event queue. The zero value is ready to use.
+type Queue struct {
+	h   eventHeap
+	seq int
+}
+
+// Schedule enqueues fn to run at the given tick.
+func (q *Queue) Schedule(tick int64, fn func()) {
+	q.seq++
+	heap.Push(&q.h, &Event{Tick: tick, Fn: fn, seq: q.seq})
+}
+
+// RunDue fires (in order) every event scheduled at or before tick.
+func (q *Queue) RunDue(tick int64) {
+	for q.h.Len() > 0 && q.h[0].Tick <= tick {
+		ev := heap.Pop(&q.h).(*Event)
+		ev.Fn()
+	}
+}
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return q.h.Len() }
+
+// NextTick returns the tick of the earliest pending event, or ok=false
+// when the queue is empty.
+func (q *Queue) NextTick() (int64, bool) {
+	if q.h.Len() == 0 {
+		return 0, false
+	}
+	return q.h[0].Tick, true
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].Tick != h[j].Tick {
+		return h[i].Tick < h[j].Tick
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*Event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestQueueOrdering(t *testing.T) {
+	var q Queue
+	var fired []int
+	q.Schedule(5, func() { fired = append(fired, 5) })
+	q.Schedule(1, func() { fired = append(fired, 1) })
+	q.Schedule(3, func() { fired = append(fired, 3) })
+	q.RunDue(4)
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 3 {
+		t.Fatalf("fired = %v", fired)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("pending = %d", q.Len())
+	}
+	next, ok := q.NextTick()
+	if !ok || next != 5 {
+		t.Fatalf("next = %d/%v", next, ok)
+	}
+	q.RunDue(5)
+	if len(fired) != 3 || fired[2] != 5 {
+		t.Fatalf("fired = %v", fired)
+	}
+	if _, ok := q.NextTick(); ok {
+		t.Fatal("queue should be drained")
+	}
+}
+
+func TestQueueSameTickFIFO(t *testing.T) {
+	var q Queue
+	var fired []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.Schedule(7, func() { fired = append(fired, i) })
+	}
+	q.RunDue(7)
+	for i, v := range fired {
+		if v != i {
+			t.Fatalf("same-tick events out of submission order: %v", fired)
+		}
+	}
+}
+
+func TestQueueScheduleDuringRun(t *testing.T) {
+	var q Queue
+	var fired []string
+	q.Schedule(1, func() {
+		fired = append(fired, "a")
+		q.Schedule(1, func() { fired = append(fired, "b") }) // same tick, during run
+		q.Schedule(9, func() { fired = append(fired, "late") })
+	})
+	q.RunDue(1)
+	if len(fired) != 2 || fired[1] != "b" {
+		t.Fatalf("fired = %v", fired)
+	}
+	q.RunDue(9)
+	if len(fired) != 3 || fired[2] != "late" {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestQueueOrderProperty(t *testing.T) {
+	f := func(ticks []uint8) bool {
+		var q Queue
+		var fired []int64
+		for _, tk := range ticks {
+			tk := int64(tk)
+			q.Schedule(tk, func() { fired = append(fired, tk) })
+		}
+		q.RunDue(1 << 30)
+		if len(fired) != len(ticks) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

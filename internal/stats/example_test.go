@@ -1,0 +1,41 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// ExampleCoV shows the Coefficient of Variation's range on server
+// load vectors: zero when balanced, sqrt(n) when one server carries
+// everything — the bound the IF model normalizes by.
+func ExampleCoV() {
+	fmt.Printf("balanced: %.2f\n", stats.CoV([]float64{100, 100, 100, 100}))
+	fmt.Printf("skewed:   %.2f\n", stats.CoV([]float64{400, 0, 0, 0}))
+	fmt.Printf("max(n=4): %.2f\n", stats.MaxCoV(4))
+	// Output:
+	// balanced: 0.00
+	// skewed:   2.00
+	// max(n=4): 2.00
+}
+
+// ExampleLogistic shows the urgency term: negligible at low
+// utilization, saturating as the busiest server approaches capacity.
+func ExampleLogistic() {
+	for _, u := range []float64{0.1, 0.5, 0.9} {
+		fmt.Printf("u=%.1f -> U=%.3f\n", u, stats.Logistic(u, 0.2))
+	}
+	// Output:
+	// u=0.1 -> U=0.018
+	// u=0.5 -> U=0.500
+	// u=0.9 -> U=0.982
+}
+
+// ExampleFitSeries shows the importer-side future-load prediction: a
+// rising load history extrapolates past its last point.
+func ExampleFitSeries() {
+	fit := stats.FitSeries([]float64{100, 200, 300})
+	fmt.Printf("next epoch: %.0f\n", fit.PredictNext())
+	// Output:
+	// next epoch: 400
+}

@@ -1,0 +1,366 @@
+// Package stats provides the statistical primitives used by the
+// balancers and the experiment harness: dispersion measures (including
+// the Coefficient of Variation at the heart of the Lunule IF model),
+// percentiles/CDFs for job-completion-time analysis, online summary
+// statistics, the logistic urgency function, and the linear-regression
+// load predictor used by the migration initiator for importer-side
+// future-load estimation.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// Variance returns the corrected (n-1 denominator) sample variance of
+// xs, or 0 when fewer than two values are present. The corrected form
+// matches Equation 1 of the paper.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// StdDev returns the corrected sample standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// CoV returns the Coefficient of Variation of xs: the corrected sample
+// standard deviation divided by the mean (Equation 1). It returns 0 for
+// an empty slice or when the mean is 0 (an all-idle cluster is treated
+// as perfectly balanced).
+func CoV(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return StdDev(xs) / m
+}
+
+// MaxCoV returns the theoretical maximum CoV of n non-negative values,
+// which is sqrt(n), attained when a single value carries all the mass.
+// The IF model normalizes CoV by this bound so IF lies in [0, 1].
+func MaxCoV(n int) float64 {
+	if n < 1 {
+		return 0
+	}
+	return math.Sqrt(float64(n))
+}
+
+// Min returns the minimum of xs, or 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Logistic is the S-shaped function (1 + e^((1-2u)/s))^-1 used as the
+// urgency term U in Equation 2 of the paper. u is the utilization of the
+// most loaded server relative to the per-server capacity, and s in (0,1)
+// controls the smoothness of the transition (the paper uses 0.2). The
+// result rises from ~0 at u=0 toward ~1 at u=1, crossing 0.5 at u=0.5.
+func Logistic(u, s float64) float64 {
+	if s <= 0 {
+		// Degenerate smoothness: a hard step at u = 0.5.
+		if u >= 0.5 {
+			return 1
+		}
+		return 0
+	}
+	return 1 / (1 + math.Exp((1-2*u)/s))
+}
+
+// Percentile returns the q-quantile (q in [0,1]) of xs using linear
+// interpolation between closest ranks. xs need not be sorted. It returns
+// 0 for an empty slice.
+func Percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, q)
+}
+
+func percentileSorted(sorted []float64, q float64) float64 {
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// CDF is an empirical cumulative distribution over a sample.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from xs (copied and sorted).
+func NewCDF(xs []float64) *CDF {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return &CDF{sorted: sorted}
+}
+
+// Len returns the sample size.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// At returns P(X <= x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	idx := sort.SearchFloat64s(c.sorted, x)
+	for idx < len(c.sorted) && c.sorted[idx] == x {
+		idx++
+	}
+	return float64(idx) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-quantile of the sample.
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	return percentileSorted(c.sorted, q)
+}
+
+// Online accumulates summary statistics one observation at a time using
+// Welford's algorithm; it is used by per-MDS load monitors where keeping
+// the full series would be wasteful.
+type Online struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates x.
+func (o *Online) Add(x float64) {
+	o.n++
+	if o.n == 1 {
+		o.min, o.max = x, x
+	} else {
+		if x < o.min {
+			o.min = x
+		}
+		if x > o.max {
+			o.max = x
+		}
+	}
+	d := x - o.mean
+	o.mean += d / float64(o.n)
+	o.m2 += d * (x - o.mean)
+}
+
+// N returns the number of observations.
+func (o *Online) N() int { return o.n }
+
+// Mean returns the running mean.
+func (o *Online) Mean() float64 { return o.mean }
+
+// Variance returns the corrected sample variance.
+func (o *Online) Variance() float64 {
+	if o.n < 2 {
+		return 0
+	}
+	return o.m2 / float64(o.n-1)
+}
+
+// StdDev returns the corrected sample standard deviation.
+func (o *Online) StdDev() float64 { return math.Sqrt(o.Variance()) }
+
+// Min returns the smallest observation (0 if none).
+func (o *Online) Min() float64 { return o.min }
+
+// Max returns the largest observation (0 if none).
+func (o *Online) Max() float64 { return o.max }
+
+// LinReg fits y = a + b*x by ordinary least squares over the provided
+// points. The migration initiator uses it to extrapolate each MDS's
+// historical per-epoch load (cld) into the next epoch's expected load
+// (fld), which gates importer-role assignment in Algorithm 1.
+type LinReg struct {
+	Intercept float64
+	Slope     float64
+	n         int
+}
+
+// FitSeries fits a regression over ys taken at x = 0, 1, ..., len-1.
+// With fewer than two points the fit is a constant (slope 0).
+func FitSeries(ys []float64) LinReg {
+	n := len(ys)
+	if n == 0 {
+		return LinReg{}
+	}
+	if n == 1 {
+		return LinReg{Intercept: ys[0], n: 1}
+	}
+	var sumX, sumY, sumXY, sumXX float64
+	for i, y := range ys {
+		x := float64(i)
+		sumX += x
+		sumY += y
+		sumXY += x * y
+		sumXX += x * x
+	}
+	fn := float64(n)
+	den := fn*sumXX - sumX*sumX
+	if den == 0 {
+		return LinReg{Intercept: sumY / fn, n: n}
+	}
+	slope := (fn*sumXY - sumX*sumY) / den
+	intercept := (sumY - slope*sumX) / fn
+	return LinReg{Intercept: intercept, Slope: slope, n: n}
+}
+
+// Predict evaluates the fit at x.
+func (r LinReg) Predict(x float64) float64 {
+	return r.Intercept + r.Slope*x
+}
+
+// PredictNext extrapolates one step past the fitted series, clamped at
+// zero: negative load forecasts are meaningless.
+func (r LinReg) PredictNext() float64 {
+	v := r.Predict(float64(r.n))
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Series is an append-only time series of (tick, value) samples.
+type Series struct {
+	Ticks  []int64
+	Values []float64
+}
+
+// Append adds one sample.
+func (s *Series) Append(tick int64, v float64) {
+	s.Ticks = append(s.Ticks, tick)
+	s.Values = append(s.Values, v)
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Values) }
+
+// MeanValue returns the mean of the sample values.
+func (s *Series) MeanValue() float64 { return Mean(s.Values) }
+
+// MaxValue returns the maximum sample value.
+func (s *Series) MaxValue() float64 { return Max(s.Values) }
+
+// Last returns the final value, or 0 when empty.
+func (s *Series) Last() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	return s.Values[len(s.Values)-1]
+}
+
+// Tail returns the mean of the last k values (or all if fewer).
+func (s *Series) Tail(k int) float64 {
+	if k <= 0 || len(s.Values) == 0 {
+		return 0
+	}
+	if k > len(s.Values) {
+		k = len(s.Values)
+	}
+	return Mean(s.Values[len(s.Values)-k:])
+}
+
+// Histogram counts observations into fixed-width buckets over
+// [lo, hi); values outside the range are clamped into the edge buckets.
+type Histogram struct {
+	Lo, Hi  float64
+	Buckets []int
+	total   int
+}
+
+// NewHistogram creates a histogram with n buckets spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram shape")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int, n)}
+}
+
+// Add records x.
+func (h *Histogram) Add(x float64) {
+	idx := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Buckets)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.Buckets) {
+		idx = len(h.Buckets) - 1
+	}
+	h.Buckets[idx]++
+	h.total++
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Frac returns the fraction of observations in bucket i.
+func (h *Histogram) Frac(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Buckets[i]) / float64(h.total)
+}

@@ -1,0 +1,271 @@
+// Package trace implements the access-history bookkeeping the paper's
+// "Stats recording" section describes: metadata accesses are broken
+// into fixed-size short sequences (cutting windows, one per balancing
+// epoch here), and per-subtree counters record how many visits were
+// recurrent (temporal locality) versus first visits to never-before-seen
+// inodes (spatial locality). The Lunule pattern analyzer turns these
+// counters into alpha/beta locality factors and migration indices.
+//
+// Counters are kept at two granularities:
+//
+//   - per partition entry (FragKey): the unit migration decisions use;
+//   - per directory, propagated up the ancestor chain to the governing
+//     subtree root: the finer view the subtree selector needs when it
+//     has to split a subtree and pick descendant directories.
+package trace
+
+import (
+	"repro/internal/namespace"
+)
+
+// Counters aggregates the accesses observed in one cutting window for
+// one subtree (or one directory's subtree-local region).
+type Counters struct {
+	// Visits is the total number of metadata accesses.
+	Visits int
+	// Distinct is the number of distinct inodes touched in the window.
+	Distinct int
+	// Recurrent is the number of distinct inodes in this window that
+	// had also been visited in one of the previous history windows —
+	// the numerator of the paper's recurrent-visit ratio (alpha).
+	Recurrent int
+	// FirstVisits is the number of accesses to inodes never visited
+	// before — the spatial-locality signal (beta numerator, l_s).
+	FirstVisits int
+	// SiblingCredits counts l_s credit received from first visits in
+	// sibling subtrees (the paper's sibling access-correlation rule).
+	SiblingCredits int
+}
+
+// Add accumulates o into c.
+func (c *Counters) Add(o Counters) {
+	c.Visits += o.Visits
+	c.Distinct += o.Distinct
+	c.Recurrent += o.Recurrent
+	c.FirstVisits += o.FirstVisits
+	c.SiblingCredits += o.SiblingCredits
+}
+
+// IsZero reports whether no activity was recorded.
+func (c Counters) IsZero() bool {
+	return c == Counters{}
+}
+
+// window is one cutting window's worth of counters.
+type window struct {
+	epoch int64
+	byDir map[namespace.Ino]*Counters
+	byKey map[namespace.FragKey]*Counters
+}
+
+// Collector records accesses into a ring of cutting windows. Each MDS
+// owns one Collector (the paper keeps the history trace per MDS); when
+// a subtree migrates, the importer's collector starts cold for it,
+// exactly as a real importer would.
+type Collector struct {
+	history int // number of windows retained and used for classification
+	ring    []window
+	epoch   int64
+}
+
+// NewCollector creates a collector retaining the given number of recent
+// cutting windows (the paper's N). history must be >= 1.
+func NewCollector(history int) *Collector {
+	if history < 1 {
+		panic("trace: history must be >= 1")
+	}
+	ring := make([]window, history+1)
+	for i := range ring {
+		ring[i] = window{
+			epoch: -1,
+			byDir: make(map[namespace.Ino]*Counters),
+			byKey: make(map[namespace.FragKey]*Counters),
+		}
+	}
+	// epoch starts at -1 so the first Record (possibly at epoch 0)
+	// opens its window.
+	return &Collector{history: history, ring: ring, epoch: -1}
+}
+
+// History returns the configured window count N.
+func (c *Collector) History() int { return c.history }
+
+// Epoch returns the current epoch.
+func (c *Collector) Epoch() int64 { return c.epoch }
+
+func (c *Collector) slot(epoch int64) *window {
+	return &c.ring[int(epoch%int64(len(c.ring)))]
+}
+
+// BeginEpoch opens the cutting window for the given epoch, recycling the
+// oldest window in the ring.
+func (c *Collector) BeginEpoch(epoch int64) {
+	w := c.slot(epoch)
+	if w.epoch == epoch {
+		return
+	}
+	w.epoch = epoch
+	for k := range w.byDir {
+		delete(w.byDir, k)
+	}
+	for k := range w.byKey {
+		delete(w.byKey, k)
+	}
+	c.epoch = epoch
+}
+
+func (w *window) dir(ino namespace.Ino) *Counters {
+	ctr := w.byDir[ino]
+	if ctr == nil {
+		ctr = &Counters{}
+		w.byDir[ino] = ctr
+	}
+	return ctr
+}
+
+func (w *window) key(k namespace.FragKey) *Counters {
+	ctr := w.byKey[k]
+	if ctr == nil {
+		ctr = &Counters{}
+		w.byKey[k] = ctr
+	}
+	return ctr
+}
+
+// Record classifies one access to in, governed by the subtree entry
+// key, and updates the current window. It touches the inode's access
+// history (the per-inode boolean epoch queue), so each metadata access
+// must be recorded exactly once.
+//
+// Classification per the paper:
+//   - recurrent: the inode was visited in one of the previous N windows
+//     (counted once per inode per window);
+//   - first visit: the inode had never been accessed before.
+func (c *Collector) Record(key namespace.FragKey, in *namespace.Inode, epoch int64) {
+	if epoch != c.epoch {
+		c.BeginEpoch(epoch)
+	}
+	firstThisWindow := !in.Hot.AccessedIn(epoch)
+	everSeen := in.Hot.EverAccessed()
+	recentBefore := false
+	if firstThisWindow && everSeen {
+		recentBefore = in.Hot.RecentEpochs(epoch-1, c.history) > 0
+	}
+	if !everSeen {
+		in.MarkVisited()
+	}
+	in.Hot.Touch(epoch)
+
+	var delta Counters
+	delta.Visits = 1
+	if firstThisWindow {
+		delta.Distinct = 1
+		if recentBefore {
+			delta.Recurrent = 1
+		}
+	}
+	if !everSeen {
+		delta.FirstVisits = 1
+	}
+
+	w := c.slot(epoch)
+	w.key(key).Add(delta)
+
+	// Propagate along the ancestor directory chain up to and including
+	// the governing subtree root, so any directory inside the subtree
+	// has selector-usable stats.
+	root := key.Dir
+	for d := in.Parent; d != nil; d = d.Parent {
+		w.dir(d.Ino).Add(delta)
+		if d.Ino == root {
+			break
+		}
+	}
+}
+
+// CreditSibling applies one unit of sibling-correlation l_s credit to
+// the subtree at key (rooted at rootDir) in the current window.
+func (c *Collector) CreditSibling(key namespace.FragKey, epoch int64) {
+	if epoch != c.epoch {
+		c.BeginEpoch(epoch)
+	}
+	w := c.slot(epoch)
+	w.key(key).SiblingCredits++
+	if key.Dir != 0 {
+		w.dir(key.Dir).SiblingCredits++
+	}
+}
+
+// sumWindows folds fn over the valid windows among the last n epochs
+// ending at epoch.
+func (c *Collector) sumWindows(epoch int64, n int, fn func(*window) Counters) Counters {
+	if n > c.history {
+		n = c.history
+	}
+	var total Counters
+	for i := int64(0); i < int64(n); i++ {
+		e := epoch - i
+		if e < 0 {
+			break
+		}
+		w := c.slot(e)
+		if w.epoch != e {
+			continue
+		}
+		total.Add(fn(w))
+	}
+	return total
+}
+
+// RecentKey returns the summed counters for the subtree entry over the
+// last n cutting windows ending at epoch (n is clamped to the history).
+func (c *Collector) RecentKey(key namespace.FragKey, epoch int64, n int) Counters {
+	return c.sumWindows(epoch, n, func(w *window) Counters {
+		if ctr := w.byKey[key]; ctr != nil {
+			return *ctr
+		}
+		return Counters{}
+	})
+}
+
+// RecentDir returns the summed counters attributed to the directory's
+// region over the last n cutting windows ending at epoch.
+func (c *Collector) RecentDir(dir namespace.Ino, epoch int64, n int) Counters {
+	return c.sumWindows(epoch, n, func(w *window) Counters {
+		if ctr := w.byDir[dir]; ctr != nil {
+			return *ctr
+		}
+		return Counters{}
+	})
+}
+
+// ActiveKeys returns the set of subtree entries with any recorded
+// activity in the last n windows ending at epoch.
+func (c *Collector) ActiveKeys(epoch int64, n int) map[namespace.FragKey]struct{} {
+	if n > c.history {
+		n = c.history
+	}
+	out := make(map[namespace.FragKey]struct{})
+	for i := int64(0); i < int64(n); i++ {
+		e := epoch - i
+		if e < 0 {
+			break
+		}
+		w := c.slot(e)
+		if w.epoch != e {
+			continue
+		}
+		for k := range w.byKey {
+			out[k] = struct{}{}
+		}
+	}
+	return out
+}
+
+// Forget drops all state for the given subtree entry across all
+// retained windows. Exporters call it after a subtree is migrated away.
+func (c *Collector) Forget(key namespace.FragKey) {
+	for i := range c.ring {
+		delete(c.ring[i].byKey, key)
+	}
+}

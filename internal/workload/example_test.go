@@ -1,0 +1,29 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"repro/internal/namespace"
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+// Example builds the MDtest create workload and inspects one client's
+// op stream — the pattern every generator follows.
+func Example() {
+	gen := workload.NewMD(workload.MDConfig{CreatesPerClient: 3})
+	tree := namespace.NewTree()
+	specs, _ := gen.Setup(tree, 2, rng.New(1))
+
+	for {
+		op, ok := specs[0].Stream.Next()
+		if !ok {
+			break
+		}
+		fmt.Printf("%s %s/%s\n", op.Kind, op.Parent.Path(), op.Name)
+	}
+	// Output:
+	// create /md/client000/c000.f0000000
+	// create /md/client000/c000.f0000001
+	// create /md/client000/c000.f0000002
+}

@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/namespace"
+	"repro/internal/rng"
+)
+
+// MDConfig shapes the MDtest create workload: each client owns an
+// initially empty private directory and creates empty files into it as
+// fast as it can (Table 1: 100% metadata ops; the paper runs it
+// metadata-only by convention).
+type MDConfig struct {
+	// CreatesPerClient is the number of files each client creates
+	// (paper: 100000; scaled by default).
+	CreatesPerClient int
+}
+
+func (c *MDConfig) defaults() {
+	if c.CreatesPerClient == 0 {
+		c.CreatesPerClient = 4000
+	}
+}
+
+// MD is the MDtest create workload generator.
+type MD struct{ cfg MDConfig }
+
+// NewMD creates an MDtest create generator.
+func NewMD(cfg MDConfig) *MD {
+	cfg.defaults()
+	return &MD{cfg: cfg}
+}
+
+// Name implements Generator.
+func (g *MD) Name() string { return "MD" }
+
+// Setup implements Generator: it builds one empty private directory per
+// client under /md and streams create ops into it.
+func (g *MD) Setup(tree *namespace.Tree, clients int, src *rng.Source) ([]ClientSpec, error) {
+	root, err := tree.MkdirAll("/md")
+	if err != nil {
+		return nil, err
+	}
+	streams := make([]Stream, clients)
+	for c := 0; c < clients; c++ {
+		dir, err := tree.Mkdir(root, fmt.Sprintf("client%03d", c))
+		if err != nil {
+			return nil, err
+		}
+		streams[c] = newCreates(dir, c, g.cfg.CreatesPerClient)
+	}
+	return jitterSpecs(streams, 0, 0, src.Fork(1)), nil
+}
+
+func newCreates(dir *namespace.Inode, client, n int) Stream {
+	i := 0
+	return &seqStream{fill: func() []Op {
+		if i >= n {
+			return nil
+		}
+		op := Op{
+			Kind:   OpCreate,
+			Parent: dir,
+			Name:   fmt.Sprintf("c%03d.f%07d", client, i),
+		}
+		i++
+		return []Op{op}
+	}}
+}

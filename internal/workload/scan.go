@@ -1,0 +1,247 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/namespace"
+	"repro/internal/rng"
+)
+
+// seqStream is a Stream built from a refill closure that produces the
+// next batch of ops (typically one file's worth), or nil at end of job.
+type seqStream struct {
+	fill func() []Op
+	buf  []Op
+	pos  int
+}
+
+func (s *seqStream) Next() (Op, bool) {
+	for s.pos >= len(s.buf) {
+		s.buf = s.fill()
+		if len(s.buf) == 0 {
+			return Op{}, false
+		}
+		s.pos = 0
+	}
+	op := s.buf[s.pos]
+	s.pos++
+	return op, true
+}
+
+// CNNConfig shapes the CNN image pre-processing workload: each client
+// scans the whole ImageNet-like dataset once, in directory order,
+// converting the namespace into a record file. Files are never
+// re-visited by the same client (Table 1: 78.1% metadata ops).
+type CNNConfig struct {
+	// Dirs is the number of class directories (ImageNet: 1000).
+	Dirs int
+	// FilesPerDir is the number of images per directory (ImageNet:
+	// 1280 on average; scaled down by default).
+	FilesPerDir int
+	// MeanFileBytes is the average image size (ImageNet: 114.3 KB).
+	MeanFileBytes int64
+	// StartSpread staggers client start times over this many ticks.
+	StartSpread int64
+	// RateJitter varies per-client speed by +/- this fraction.
+	RateJitter float64
+}
+
+func (c *CNNConfig) defaults() {
+	if c.Dirs == 0 {
+		c.Dirs = 200
+	}
+	if c.FilesPerDir == 0 {
+		c.FilesPerDir = 24
+	}
+	if c.MeanFileBytes == 0 {
+		c.MeanFileBytes = 114300
+	}
+	if c.StartSpread == 0 {
+		c.StartSpread = 10
+	}
+	if c.RateJitter == 0 {
+		c.RateJitter = 0.05
+	}
+}
+
+// CNN is the CNN image pre-processing workload generator.
+type CNN struct{ cfg CNNConfig }
+
+// NewCNN creates a CNN workload generator.
+func NewCNN(cfg CNNConfig) *CNN {
+	cfg.defaults()
+	return &CNN{cfg: cfg}
+}
+
+// Name implements Generator.
+func (g *CNN) Name() string { return "CNN" }
+
+// Setup implements Generator: it builds /cnn/d<i>/img<j> and gives each
+// client a full-scan stream over the shared dataset.
+func (g *CNN) Setup(tree *namespace.Tree, clients int, src *rng.Source) ([]ClientSpec, error) {
+	root, err := tree.MkdirAll("/cnn")
+	if err != nil {
+		return nil, err
+	}
+	sizes := src.Fork(1)
+	files := make([]*namespace.Inode, 0, g.cfg.Dirs*g.cfg.FilesPerDir)
+	for d := 0; d < g.cfg.Dirs; d++ {
+		dir, err := tree.Mkdir(root, fmt.Sprintf("d%04d", d))
+		if err != nil {
+			return nil, err
+		}
+		for f := 0; f < g.cfg.FilesPerDir; f++ {
+			size := g.cfg.MeanFileBytes/2 + sizes.Int63n(g.cfg.MeanFileBytes)
+			in, err := tree.Create(dir, fmt.Sprintf("img%05d.jpg", f), size)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, in)
+		}
+	}
+	streams := make([]Stream, clients)
+	for i := range streams {
+		streams[i] = newCNNScan(files)
+	}
+	return jitterSpecs(streams, g.cfg.StartSpread, g.cfg.RateJitter, src.Fork(2)), nil
+}
+
+// newCNNScan returns one client's scan: per directory one readdir, per
+// file lookup+getattr+open(data), and an extra getattr on every second
+// file (record-file bookkeeping), yielding a ~78% metadata ratio.
+func newCNNScan(files []*namespace.Inode) Stream {
+	idx := 0
+	var lastDir *namespace.Inode
+	return &seqStream{fill: func() []Op {
+		if idx >= len(files) {
+			return nil
+		}
+		f := files[idx]
+		var ops []Op
+		if f.Parent != lastDir {
+			lastDir = f.Parent
+			ops = append(ops, Op{Kind: OpReaddir, Target: f.Parent})
+		}
+		ops = append(ops,
+			Op{Kind: OpLookup, Target: f},
+			Op{Kind: OpGetattr, Target: f},
+			Op{Kind: OpOpen, Target: f, DataSize: f.Size},
+		)
+		if idx%2 == 0 {
+			ops = append(ops, Op{Kind: OpGetattr, Target: f})
+		}
+		idx++
+		return ops
+	}}
+}
+
+// NLPConfig shapes the NLP training workload: the THUTC-like corpus is
+// a few folders of very many tiny files, scanned exactly once per
+// client. Each tiny file costs a pile of metadata interactions
+// (lookup, stat, open, xattr/ACL checks) relative to its 2.8 KB of
+// data, which is why 92.8% of its ops are metadata — and, like CNN,
+// files are never re-visited, which defeats popularity-based balancing.
+type NLPConfig struct {
+	// Dirs is the number of category folders (THUTC corpus: 14).
+	Dirs int
+	// FilesPerDir is the number of text files per folder (corpus:
+	// ~60k; scaled down by default).
+	FilesPerDir int
+	// MeanFileBytes is the average file size (corpus: 2.8 KB).
+	MeanFileBytes int64
+	// MetaOpsPerFile is the number of metadata ops each file costs
+	// (13 gives the paper's 92.8% metadata ratio).
+	MetaOpsPerFile int
+	// StartSpread staggers client start times over this many ticks.
+	StartSpread int64
+	// RateJitter varies per-client speed by +/- this fraction.
+	RateJitter float64
+}
+
+func (c *NLPConfig) defaults() {
+	if c.Dirs == 0 {
+		c.Dirs = 14
+	}
+	if c.FilesPerDir == 0 {
+		c.FilesPerDir = 400
+	}
+	if c.MeanFileBytes == 0 {
+		c.MeanFileBytes = 2800
+	}
+	if c.MetaOpsPerFile == 0 {
+		c.MetaOpsPerFile = 13
+	}
+	if c.StartSpread == 0 {
+		c.StartSpread = 10
+	}
+	if c.RateJitter == 0 {
+		c.RateJitter = 0.05
+	}
+}
+
+// NLP is the NLP training workload generator.
+type NLP struct{ cfg NLPConfig }
+
+// NewNLP creates an NLP workload generator.
+func NewNLP(cfg NLPConfig) *NLP {
+	cfg.defaults()
+	return &NLP{cfg: cfg}
+}
+
+// Name implements Generator.
+func (g *NLP) Name() string { return "NLP" }
+
+// Setup implements Generator.
+func (g *NLP) Setup(tree *namespace.Tree, clients int, src *rng.Source) ([]ClientSpec, error) {
+	root, err := tree.MkdirAll("/nlp")
+	if err != nil {
+		return nil, err
+	}
+	sizes := src.Fork(1)
+	files := make([]*namespace.Inode, 0, g.cfg.Dirs*g.cfg.FilesPerDir)
+	for d := 0; d < g.cfg.Dirs; d++ {
+		dir, err := tree.Mkdir(root, fmt.Sprintf("cat%02d", d))
+		if err != nil {
+			return nil, err
+		}
+		for f := 0; f < g.cfg.FilesPerDir; f++ {
+			size := g.cfg.MeanFileBytes/2 + sizes.Int63n(g.cfg.MeanFileBytes)
+			in, err := tree.Create(dir, fmt.Sprintf("doc%06d.txt", f), size)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, in)
+		}
+	}
+	streams := make([]Stream, clients)
+	for i := range streams {
+		streams[i] = newNLPScan(files, g.cfg.MetaOpsPerFile)
+	}
+	return jitterSpecs(streams, g.cfg.StartSpread, g.cfg.RateJitter, src.Fork(2)), nil
+}
+
+// newNLPScan returns one client's single-pass scan: per file,
+// metaOpsPerFile metadata operations (path resolution, stats,
+// permission checks, the open itself) and one tiny data read.
+func newNLPScan(files []*namespace.Inode, metaOpsPerFile int) Stream {
+	idx := 0
+	var lastDir *namespace.Inode
+	return &seqStream{fill: func() []Op {
+		if idx >= len(files) {
+			return nil
+		}
+		f := files[idx]
+		var ops []Op
+		if f.Parent != lastDir {
+			lastDir = f.Parent
+			ops = append(ops, Op{Kind: OpReaddir, Target: f.Parent})
+		}
+		ops = append(ops, Op{Kind: OpLookup, Target: f})
+		for fileOps := 1; fileOps < metaOpsPerFile-1; fileOps++ {
+			ops = append(ops, Op{Kind: OpGetattr, Target: f})
+		}
+		ops = append(ops, Op{Kind: OpOpen, Target: f, DataSize: f.Size})
+		idx++
+		return ops
+	}}
+}

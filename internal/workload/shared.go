@@ -1,0 +1,48 @@
+package workload
+
+import (
+	"repro/internal/namespace"
+	"repro/internal/rng"
+)
+
+// MDSharedConfig shapes a shared-directory create storm: every client
+// creates files into ONE common directory. This is the scenario GIGA+
+// (which GreedySpill comes from) was built for, and the hardest case
+// for subtree-granular balancing — only dirfrag splitting can
+// parallelize a single directory.
+type MDSharedConfig struct {
+	// CreatesPerClient is the number of files each client creates.
+	CreatesPerClient int
+}
+
+func (c *MDSharedConfig) defaults() {
+	if c.CreatesPerClient == 0 {
+		c.CreatesPerClient = 4000
+	}
+}
+
+// MDShared is the shared-directory create workload generator.
+type MDShared struct{ cfg MDSharedConfig }
+
+// NewMDShared creates a shared-directory create generator.
+func NewMDShared(cfg MDSharedConfig) *MDShared {
+	cfg.defaults()
+	return &MDShared{cfg: cfg}
+}
+
+// Name implements Generator.
+func (g *MDShared) Name() string { return "MD-shared" }
+
+// Setup implements Generator: one common empty directory, with every
+// client streaming uniquely named creates into it.
+func (g *MDShared) Setup(tree *namespace.Tree, clients int, src *rng.Source) ([]ClientSpec, error) {
+	dir, err := tree.MkdirAll("/mdshared/dir")
+	if err != nil {
+		return nil, err
+	}
+	streams := make([]Stream, clients)
+	for c := 0; c < clients; c++ {
+		streams[c] = newCreates(dir, c, g.cfg.CreatesPerClient)
+	}
+	return jitterSpecs(streams, 0, 0, src.Fork(1)), nil
+}

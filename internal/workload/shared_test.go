@@ -1,0 +1,49 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestMDSharedAllClientsOneDir(t *testing.T) {
+	g := NewMDShared(MDSharedConfig{CreatesPerClient: 50})
+	tree, specs := setup(t, g, 4, 11)
+	dir, err := tree.Lookup("/mdshared/dir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make(map[string]bool)
+	for ci, sp := range specs {
+		n := 0
+		for {
+			op, ok := sp.Stream.Next()
+			if !ok {
+				break
+			}
+			n++
+			if op.Kind != OpCreate {
+				t.Fatal("shared-dir workload must be pure creates")
+			}
+			if op.Parent != dir {
+				t.Fatalf("client %d created outside the shared dir", ci)
+			}
+			if names[op.Name] {
+				t.Fatalf("duplicate create name across clients: %q", op.Name)
+			}
+			names[op.Name] = true
+		}
+		if n != 50 {
+			t.Fatalf("client %d creates = %d", ci, n)
+		}
+	}
+	if len(names) != 200 {
+		t.Fatalf("distinct names = %d, want 200", len(names))
+	}
+}
+
+func TestMDSharedRatioIsAllMetadata(t *testing.T) {
+	g := NewMDShared(MDSharedConfig{CreatesPerClient: 20})
+	_, specs := setup(t, g, 1, 12)
+	if r := Measure(specs[0].Stream).Ratio(); r != 1.0 {
+		t.Fatalf("meta ratio = %v, want 1.0", r)
+	}
+}

@@ -1,0 +1,165 @@
+// Package workload implements synthetic generators for the five
+// workloads of the paper's Table 1 (CNN image pre-processing, NLP
+// training, web trace replay, Filebench Zipfian read, and MDtest
+// create) plus their mixture. Each generator builds its portion of the
+// namespace and hands every client a deterministic stream of metadata
+// operations whose structure reproduces the balancer-relevant
+// properties of the original workload: access order (scan vs. skewed
+// re-visits), namespace shape (directory fan-out, file sizes), and the
+// metadata-to-data operation ratio.
+//
+// The original datasets (ImageNet, the THUTC corpus, the FSU Apache
+// trace) are proprietary or unavailable; the generators substitute
+// synthetic equivalents with the same shape, per DESIGN.md.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/namespace"
+	"repro/internal/rng"
+)
+
+// OpKind is the kind of a file system operation.
+type OpKind int
+
+// Operation kinds. All are metadata operations; an op with DataSize > 0
+// additionally transfers that many bytes through the data path when the
+// experiment enables it.
+const (
+	OpLookup OpKind = iota
+	OpGetattr
+	OpOpen
+	OpReaddir
+	OpCreate
+)
+
+// String returns the kind name.
+func (k OpKind) String() string {
+	switch k {
+	case OpLookup:
+		return "lookup"
+	case OpGetattr:
+		return "getattr"
+	case OpOpen:
+		return "open"
+	case OpReaddir:
+		return "readdir"
+	case OpCreate:
+		return "create"
+	default:
+		return fmt.Sprintf("op(%d)", int(k))
+	}
+}
+
+// Op is one file system operation issued by a client.
+type Op struct {
+	Kind OpKind
+	// Target is the inode the op addresses (nil for creates, which
+	// address Parent/Name instead).
+	Target *namespace.Inode
+	// Parent and Name describe a create.
+	Parent *namespace.Inode
+	Name   string
+	// Size is the file size for creates.
+	Size int64
+	// DataSize is the number of bytes moved through the data path when
+	// data access is enabled (0 for pure-metadata ops).
+	DataSize int64
+}
+
+// Stream produces a client's operation sequence.
+type Stream interface {
+	// Next returns the next op, or ok=false when the client's job is
+	// complete.
+	Next() (op Op, ok bool)
+}
+
+// ClientSpec describes one client: its op stream plus scheduling hints.
+type ClientSpec struct {
+	Stream Stream
+	// StartTick delays the client's first op, modelling job-arrival
+	// jitter (which spreads scan fronts, as on a real cluster).
+	StartTick int64
+	// RateScale multiplies the base client op rate (per-client speed
+	// variation; 1.0 = nominal).
+	RateScale float64
+}
+
+// Generator builds a workload: its namespace and its client streams.
+type Generator interface {
+	// Name returns the workload's short name (CNN, NLP, Web, Zipf, MD).
+	Name() string
+	// Setup creates the workload's files under tree and returns one
+	// ClientSpec per client. It must be deterministic given src.
+	Setup(tree *namespace.Tree, clients int, src *rng.Source) ([]ClientSpec, error)
+}
+
+// MetaStats summarizes the op mix of a stream: the paper's Table 1
+// meta-op ratio is MetaOps / (MetaOps + DataOps).
+type MetaStats struct {
+	MetaOps int
+	DataOps int
+}
+
+// Ratio returns the metadata-operation ratio in [0, 1].
+func (m MetaStats) Ratio() float64 {
+	total := m.MetaOps + m.DataOps
+	if total == 0 {
+		return 0
+	}
+	return float64(m.MetaOps) / float64(total)
+}
+
+// Measure drains a stream and tallies its op mix.
+func Measure(s Stream) MetaStats {
+	var m MetaStats
+	for {
+		op, ok := s.Next()
+		if !ok {
+			return m
+		}
+		m.MetaOps++
+		if op.DataSize > 0 {
+			m.DataOps++
+		}
+	}
+}
+
+// opList is a Stream over a pre-materialized op slice.
+type opList struct {
+	ops []Op
+	pos int
+}
+
+func (l *opList) Next() (Op, bool) {
+	if l.pos >= len(l.ops) {
+		return Op{}, false
+	}
+	op := l.ops[l.pos]
+	l.pos++
+	return op, true
+}
+
+// NewOpList wraps a pre-built op slice as a Stream (used by tests and
+// by small custom workloads).
+func NewOpList(ops []Op) Stream { return &opList{ops: ops} }
+
+// jitterSpecs assigns start-time and rate jitter to a slice of streams:
+// clients start spread over spreadTicks and run at rates in
+// [1-rateJitter, 1+rateJitter].
+func jitterSpecs(streams []Stream, spreadTicks int64, rateJitter float64, src *rng.Source) []ClientSpec {
+	specs := make([]ClientSpec, len(streams))
+	for i, s := range streams {
+		var start int64
+		if spreadTicks > 0 {
+			start = src.Int63n(spreadTicks)
+		}
+		rate := 1.0
+		if rateJitter > 0 {
+			rate = 1 - rateJitter + 2*rateJitter*src.Float64()
+		}
+		specs[i] = ClientSpec{Stream: s, StartTick: start, RateScale: rate}
+	}
+	return specs
+}

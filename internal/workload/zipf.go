@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/namespace"
+	"repro/internal/rng"
+)
+
+// ZipfConfig shapes the Filebench Zipfian read workload: each client
+// owns a private directory of files and reads them with a Zipfian
+// popularity (80% of requests touch 20% of files), the strongest
+// temporal locality among the five workloads (Table 1: 50.0% metadata
+// ops: one open + one data read per request).
+type ZipfConfig struct {
+	// FilesPerClient is the private-directory population (paper: 10000).
+	FilesPerClient int
+	// OpsPerClient is the number of reads each client performs.
+	OpsPerClient int
+	// Exponent is the Zipf exponent (0.98 gives the 80/20 shape).
+	Exponent float64
+	// MeanFileBytes is the average file size.
+	MeanFileBytes int64
+}
+
+func (c *ZipfConfig) defaults() {
+	if c.FilesPerClient == 0 {
+		c.FilesPerClient = 1000
+	}
+	if c.OpsPerClient == 0 {
+		c.OpsPerClient = 12000
+	}
+	if c.Exponent == 0 {
+		c.Exponent = 0.98
+	}
+	if c.MeanFileBytes == 0 {
+		c.MeanFileBytes = 16 * 1024
+	}
+}
+
+// Zipf is the Filebench Zipfian read workload generator.
+type Zipf struct{ cfg ZipfConfig }
+
+// NewZipf creates a Zipfian read generator.
+func NewZipf(cfg ZipfConfig) *Zipf {
+	cfg.defaults()
+	return &Zipf{cfg: cfg}
+}
+
+// Name implements Generator.
+func (g *Zipf) Name() string { return "Zipf" }
+
+// Setup implements Generator: it builds /zipf/client<i>/file<j> and
+// gives each client Zipf-distributed reads over its own directory.
+func (g *Zipf) Setup(tree *namespace.Tree, clients int, src *rng.Source) ([]ClientSpec, error) {
+	root, err := tree.MkdirAll("/zipf")
+	if err != nil {
+		return nil, err
+	}
+	streams := make([]Stream, clients)
+	for c := 0; c < clients; c++ {
+		dir, err := tree.Mkdir(root, fmt.Sprintf("client%03d", c))
+		if err != nil {
+			return nil, err
+		}
+		files := make([]*namespace.Inode, g.cfg.FilesPerClient)
+		for f := 0; f < g.cfg.FilesPerClient; f++ {
+			in, err := tree.Create(dir, fmt.Sprintf("file%05d", f), g.cfg.MeanFileBytes)
+			if err != nil {
+				return nil, err
+			}
+			files[f] = in
+		}
+		streams[c] = newZipfReads(files, g.cfg.OpsPerClient, g.cfg.Exponent, src.Fork(uint64(c)+10))
+	}
+	return jitterSpecs(streams, 0, 0, src.Fork(1)), nil
+}
+
+func newZipfReads(files []*namespace.Inode, ops int, exponent float64, src *rng.Source) Stream {
+	// Decouple popularity rank from file creation order.
+	perm := src.Perm(len(files))
+	zipf := rng.NewZipf(src, exponent, len(files))
+	done := 0
+	return &seqStream{fill: func() []Op {
+		if done >= ops {
+			return nil
+		}
+		done++
+		f := files[perm[zipf.Next()]]
+		return []Op{{Kind: OpOpen, Target: f, DataSize: f.Size}}
+	}}
+}
