@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build test vet race check bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the full gate: compile, vet, and the test suite under the
+# race detector.
+check: build vet race
+
+bench:
+	$(GO) test -bench=. -benchmem

@@ -16,7 +16,9 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/experiment"
+	"repro/internal/fault"
 	"repro/internal/metrics"
+	"repro/internal/rng"
 	"repro/internal/workload"
 )
 
@@ -36,6 +38,11 @@ func main() {
 		ifCSV     = flag.String("ifcsv", "", "write the per-epoch imbalance series to this CSV file")
 		traceFile = flag.String("tracefile", "", "replay this op trace instead of a synthetic workload (see lunule-trace -export)")
 		pins      = flag.String("pin", "", "comma-separated static subtree pins, e.g. /zipf/client000=1,/web=2 (ceph.dir.pin)")
+		crashes   = flag.String("crash", "", "comma-separated MDS crashes as tick:rank (rank 'hot' = hottest live rank), e.g. 100:1,400:hot")
+		recovers  = flag.String("recover", "", "comma-separated MDS recoveries as tick:rank, e.g. 300:1")
+		mtbf      = flag.Float64("mtbf", 0, "random failures: mean ticks between failures per rank (0 = off)")
+		mttr      = flag.Float64("mttr", 0, "random failures: mean ticks to repair (default mtbf/10)")
+		recoveryT = flag.Int("recoveryticks", 0, "failover takeover latency window in ticks (default 20)")
 	)
 	flag.Parse()
 
@@ -60,15 +67,22 @@ func main() {
 	} else {
 		gen = experiment.MakeWorkload(name, *scale)
 	}
+	faults, err := buildFaults(*crashes, *recovers, *mtbf, *mttr, *mdsN, *ticks, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		os.Exit(1)
+	}
 	c, err := cluster.New(cluster.Config{
-		MDS:        *mdsN,
-		Capacity:   *capacity,
-		Clients:    nClients,
-		ClientRate: *rate,
-		DataPath:   *data,
-		Seed:       *seed,
-		Balancer:   experiment.MakeBalancer(canonicalBalancer(*bal)),
-		Workload:   gen,
+		MDS:           *mdsN,
+		Capacity:      *capacity,
+		Clients:       nClients,
+		ClientRate:    *rate,
+		DataPath:      *data,
+		Seed:          *seed,
+		Balancer:      experiment.MakeBalancer(canonicalBalancer(*bal)),
+		Workload:      gen,
+		RecoveryTicks: *recoveryT,
+		Faults:        faults,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)
@@ -106,6 +120,24 @@ func main() {
 	tbl.Add("op latency mean / p99 (ticks)", fmt.Sprintf("%.2f / %.0f", rec.MeanLatency(), rec.LatencyQuantile(0.99)))
 	tbl.Add("JCT p50 / p99 (ticks)", fmt.Sprintf("%.0f / %.0f", rec.JCTQuantile(0.5), rec.JCTQuantile(0.99)))
 	tbl.Add("subtree entries", fmt.Sprintf("%d", c.Partition().NumEntries()))
+	if faults != nil && !faults.Empty() {
+		var retries, crashN int64
+		for _, cl := range c.Clients() {
+			retries += cl.Retries()
+		}
+		for _, s := range c.Servers() {
+			crashN += s.Crashes()
+		}
+		tbl.Add("MDS crashes", fmt.Sprintf("%d", crashN))
+		tbl.Add("ops stalled on down ranks", fmt.Sprintf("%.0f", rec.StalledDownTotal()))
+		tbl.Add("exports aborted by crashes", fmt.Sprintf("%.0f", rec.AbortedTotal()))
+		tbl.Add("client retries (backoff)", fmt.Sprintf("%d", retries))
+		tbl.Add("orphaned rank-ticks", fmt.Sprintf("%.0f", rec.RecoveryTicksTotal()))
+		tbl.Add("mean ticks to reassign", fmt.Sprintf("%.1f", rec.MeanTicksToReassign()))
+		if down := c.DownRanks(); len(down) > 0 {
+			tbl.Add("still down at end", fmt.Sprint(down))
+		}
+	}
 	fmt.Print(tbl.String())
 
 	fmt.Println("\nimbalance factor over time:")
@@ -138,6 +170,36 @@ func main() {
 		}
 		fmt.Printf("imbalance series written to %s\n", *ifCSV)
 	}
+}
+
+// buildFaults combines the scripted -crash/-recover specs with the
+// random -mtbf mode into one validated schedule (nil when no fault
+// flags were given).
+func buildFaults(crashes, recovers string, mtbf, mttr float64, mdsN int, horizon int64, seed uint64) (*fault.Schedule, error) {
+	sched, err := fault.ParseSpecs(crashes, fault.Crash)
+	if err != nil {
+		return nil, err
+	}
+	recs, err := fault.ParseSpecs(recovers, fault.Recover)
+	if err != nil {
+		return nil, err
+	}
+	sched.Merge(recs)
+	if mtbf > 0 {
+		sched.Merge(fault.MTBF(fault.MTBFConfig{
+			Ranks:   mdsN,
+			MTBF:    mtbf,
+			MTTR:    mttr,
+			Horizon: horizon,
+		}, rng.New(seed).Fork(99)))
+	}
+	if sched.Empty() {
+		return nil, nil
+	}
+	if err := sched.Validate(mdsN); err != nil {
+		return nil, err
+	}
+	return &sched, nil
 }
 
 func writeCSV(path string, emit func(io.Writer) error) error {

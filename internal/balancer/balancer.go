@@ -24,6 +24,9 @@ type View interface {
 	EpochTicks() int
 	// NumMDS returns the current cluster size.
 	NumMDS() int
+	// Up reports whether the given rank is alive. Down ranks serve
+	// nothing and must never be chosen as migration endpoints.
+	Up(id namespace.MDSID) bool
 	// Server returns the MDS with the given rank.
 	Server(id namespace.MDSID) *mds.Server
 	// Partition is the live subtree partition (balancers mutate it via
@@ -66,6 +69,17 @@ func Loads(v View) []float64 {
 	out := make([]float64, v.NumMDS())
 	for i := range out {
 		out[i] = v.Server(namespace.MDSID(i)).CurrentLoad()
+	}
+	return out
+}
+
+// LiveRanks returns the ranks that are currently up, in rank order.
+func LiveRanks(v View) []namespace.MDSID {
+	out := make([]namespace.MDSID, 0, v.NumMDS())
+	for i := 0; i < v.NumMDS(); i++ {
+		if id := namespace.MDSID(i); v.Up(id) {
+			out = append(out, id)
+		}
 	}
 	return out
 }

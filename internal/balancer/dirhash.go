@@ -38,14 +38,16 @@ func (b *DirHash) Rebalance(v View) {
 func (b *DirHash) pin(v View) {
 	part := v.Partition()
 	tree := part.Tree()
-	n := v.NumMDS()
-	if n == 0 {
+	live := LiveRanks(v)
+	if len(live) == 0 {
 		return
 	}
 	pin := func(ch *namespace.Inode) {
 		if len(part.EntriesAt(ch.Ino)) == 0 {
 			e := part.Carve(ch)
-			target := namespace.MDSID(int(namespace.HashName(ch.Path())) % n)
+			// Hash across the live ranks only; with no failures this is
+			// identical to hashing across all ranks.
+			target := live[int(namespace.HashName(ch.Path()))%len(live)]
 			part.SetAuth(e.Key, target)
 		}
 	}

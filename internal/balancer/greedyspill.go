@@ -34,7 +34,19 @@ func (b *GreedySpill) Rebalance(v View) {
 	loads := Loads(v)
 	for i := 0; i < n; i++ {
 		ex := namespace.MDSID(i)
-		neighbour := namespace.MDSID((i + 1) % n)
+		if !v.Up(ex) {
+			continue
+		}
+		// The neighbour is the next live rank (wrapping): spilling to a
+		// crashed neighbour would strand the subtree.
+		neighbour := ex
+		for step := 1; step < n; step++ {
+			cand := namespace.MDSID((i + step) % n)
+			if v.Up(cand) {
+				neighbour = cand
+				break
+			}
+		}
 		if neighbour == ex {
 			continue
 		}

@@ -38,24 +38,29 @@ func (b *Vanilla) Rebalance(v View) {
 	v.Ledger().EpochVanilla(n)
 
 	loads := SmoothedLoads(v, 2)
-	avg := 0.0
-	for _, l := range loads {
-		avg += l
+	live := LiveRanks(v)
+	if len(live) < 2 {
+		return
 	}
-	avg /= float64(n)
+	avg := 0.0
+	for _, id := range live {
+		avg += loads[id]
+	}
+	avg /= float64(len(live))
 	if avg <= 0 {
 		return
 	}
 
-	// Importers: everything below average, in ascending-load order.
+	// Importers: every live rank below average, in ascending-load
+	// order. Down ranks must never import.
 	type imp struct {
 		id   namespace.MDSID
 		room float64
 	}
 	var importers []imp
-	for i, l := range loads {
-		if l < avg {
-			importers = append(importers, imp{namespace.MDSID(i), avg - l})
+	for _, id := range live {
+		if l := loads[id]; l < avg {
+			importers = append(importers, imp{id, avg - l})
 		}
 	}
 	// Ascending by load means descending by room; CephFS fills the
@@ -68,9 +73,8 @@ func (b *Vanilla) Rebalance(v View) {
 		}
 	}
 
-	for i := 0; i < n; i++ {
-		ex := namespace.MDSID(i)
-		l := loads[i]
+	for _, ex := range live {
+		l := loads[ex]
 		if l <= avg*(1+b.MinOffload) {
 			continue
 		}

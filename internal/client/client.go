@@ -31,8 +31,21 @@ type Client struct {
 	opsDone    int64
 	stallTicks int64
 
+	// Retry backoff for ops that failed against a crashed rank: instead
+	// of re-attempting every tick while the target is down (silent
+	// spinning), the client waits backoff ticks, doubling up to
+	// MaxBackoffTicks per consecutive failure, and resets on success.
+	backoff int64 // current backoff interval, 0 = none
+	retryAt int64 // earliest tick the pending op may be re-attempted
+	retries int64 // failed attempts that entered backoff
+
 	cache authCache
 }
+
+// MaxBackoffTicks caps the exponential retry backoff. With 1-second
+// ticks this is a 16 s ceiling, on the order of real client-side
+// request timeouts.
+const MaxBackoffTicks = 16
 
 // authCache is the client's subtree-authority cache. CephFS clients
 // learn which MDS owns which subtree and contact it directly; a request
@@ -175,8 +188,39 @@ func (c *Client) NextOp(tick int64) (workload.Op, bool) {
 	return op, true
 }
 
-// Retain records that the current op stalled and must be retried.
+// Retain records that the current op stalled and must be retried. The
+// retry happens on the next tick (a saturated or frozen target usually
+// clears within one tick, so no backoff applies).
 func (c *Client) Retain() { c.stallTicks++ }
+
+// RetainBackoff records that the current op failed against a down rank
+// and schedules the retry with capped exponential backoff: 1, 2, 4, …
+// up to MaxBackoffTicks after consecutive failures. Success
+// (CompleteOp) resets the backoff.
+func (c *Client) RetainBackoff(tick int64) {
+	c.stallTicks++
+	c.retries++
+	if c.backoff < 1 {
+		c.backoff = 1
+	} else {
+		c.backoff *= 2
+		if c.backoff > MaxBackoffTicks {
+			c.backoff = MaxBackoffTicks
+		}
+	}
+	c.retryAt = tick + c.backoff
+}
+
+// RetryReady reports whether the client may attempt an op at the given
+// tick (false only while backing off after down-rank failures).
+func (c *Client) RetryReady(tick int64) bool { return tick >= c.retryAt }
+
+// Retries returns how many op attempts failed into backoff.
+func (c *Client) Retries() int64 { return c.retries }
+
+// Backoff returns the current backoff interval in ticks (0 when the
+// client is not backing off).
+func (c *Client) Backoff() int64 { return c.backoff }
 
 // CompleteOp marks the current op as served and returns its latency in
 // ticks (1 for an op served on its first attempt).
@@ -187,6 +231,8 @@ func (c *Client) CompleteOp(tick int64) int64 {
 	}
 	c.pending = nil
 	c.opsDone++
+	c.backoff = 0
+	c.retryAt = 0
 	return lat
 }
 

@@ -13,6 +13,7 @@ import (
 	"repro/internal/balancer"
 	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/mds"
 	"repro/internal/metrics"
 	"repro/internal/msg"
@@ -66,6 +67,13 @@ type Config struct {
 	Balancer balancer.Balancer
 	// Workload generates the namespace and the client op streams.
 	Workload workload.Generator
+	// RecoveryTicks is the failover latency window: how long after a
+	// crash the dead rank's orphaned subtrees stay unowned (requests to
+	// them stall) before survivors take them over. It models failure
+	// detection plus journal replay (CephFS beacon grace + rejoin).
+	RecoveryTicks int
+	// Faults optionally scripts MDS crash/recover events for the run.
+	Faults *fault.Schedule
 }
 
 func (c *Config) defaults() {
@@ -111,6 +119,9 @@ func (c *Config) defaults() {
 	if c.OSDBandwidth == 0 {
 		c.OSDBandwidth = 64 << 20 // 64 MB per OSD per tick
 	}
+	if c.RecoveryTicks < 1 {
+		c.RecoveryTicks = 20
+	}
 }
 
 // Cluster is one live simulation.
@@ -131,9 +142,18 @@ type Cluster struct {
 	forwards int64
 	doneN    int
 
+	// Fault state: which ranks are crashed-and-unreassigned, when each
+	// currently-down rank crashed, and the cumulative fault counters
+	// the recorder samples each tick.
+	orphaned        map[namespace.MDSID]bool
+	crashTick       map[namespace.MDSID]int64
+	stalledDown     int64
+	recoveryTickSum int64
+	capacityClamps  int64
+
 	// events holds scheduled cluster mutations (MDS additions,
-	// capacity changes), fired at the top of their tick in submission
-	// order.
+	// capacity changes, crashes, recoveries), fired at the top of their
+	// tick in submission order.
 	events sim.Queue
 }
 
@@ -157,13 +177,15 @@ func New(cfg Config) (*Cluster, error) {
 	}
 
 	cl := &Cluster{
-		cfg:    cfg,
-		tree:   tree,
-		part:   part,
-		osds:   osd.NewPool(cfg.OSDs, cfg.OSDBandwidth),
-		ledger: msg.NewLedger(cfg.MDS),
-		rand:   src.Fork(2),
-		rec:    metrics.NewRecorder(cfg.MDS),
+		cfg:       cfg,
+		tree:      tree,
+		part:      part,
+		osds:      osd.NewPool(cfg.OSDs, cfg.OSDBandwidth),
+		ledger:    msg.NewLedger(cfg.MDS),
+		rand:      src.Fork(2),
+		rec:       metrics.NewRecorder(cfg.MDS),
+		orphaned:  make(map[namespace.MDSID]bool),
+		crashTick: make(map[namespace.MDSID]int64),
 	}
 	for i := 0; i < cfg.MDS; i++ {
 		capacity := cfg.Capacity
@@ -180,8 +202,17 @@ func New(cfg Config) (*Cluster, error) {
 			cl.servers[t.From].DropSubtreeStats(t.Key)
 		}
 	})
+	// A migration endpoint is valid only when it names a live rank; the
+	// migrator re-checks this at activation, so tasks planned before a
+	// crash never ship a subtree to (or from) a dead server.
+	cl.migrator.ValidRank = func(r namespace.MDSID) bool {
+		return int(r) < len(cl.servers) && cl.servers[r].Up()
+	}
 	for i, sp := range specs {
 		cl.clients = append(cl.clients, client.New(i, sp, cfg.ClientRate))
+	}
+	if cfg.Faults != nil {
+		cl.ApplyFaults(*cfg.Faults)
 	}
 	return cl, nil
 }
@@ -246,13 +277,193 @@ func (c *Cluster) PinPath(path string, rank int) error {
 
 // ScheduleCapacity arranges for the given rank's capacity to change at
 // the given tick (degradation/failure injection: a slow disk, a noisy
-// neighbour, a partial failure).
+// neighbour, a partial failure). Non-positive capacities are clamped to
+// 1 by the server; the clamp is counted so fault scripts with typo'd
+// values surface in CapacityClamps instead of silently degrading.
 func (c *Cluster) ScheduleCapacity(tick int64, rank, capacity int) {
 	c.events.Schedule(tick, func() {
 		if rank >= 0 && rank < len(c.servers) {
-			c.servers[rank].SetCapacity(capacity)
+			if _, clamped := c.servers[rank].SetCapacity(capacity); clamped {
+				c.capacityClamps++
+			}
 		}
 	})
+}
+
+// CapacityClamps returns how many scheduled capacity changes were
+// clamped up from a non-positive value.
+func (c *Cluster) CapacityClamps() int64 { return c.capacityClamps }
+
+// CrashMDS takes the given rank down immediately: it stops serving, its
+// queued and in-flight exports abort (authority rolled to the surviving
+// side), and its remaining subtrees orphan — requests to them stall —
+// until survivors take them over RecoveryTicks later. It returns false
+// for an invalid or already-down rank, or when the rank is the last
+// survivor — crashing it would leave nobody to take over and ops would
+// stall forever.
+func (c *Cluster) CrashMDS(rank int) bool {
+	if rank < 0 || rank >= len(c.servers) || !c.servers[rank].Up() {
+		return false
+	}
+	live := 0
+	for _, s := range c.servers {
+		if s.Up() {
+			live++
+		}
+	}
+	if live <= 1 {
+		return false
+	}
+	id := namespace.MDSID(rank)
+	c.servers[rank].Crash()
+	c.migrator.AbortRank(id)
+	c.orphaned[id] = true
+	crashedAt := c.tick
+	c.crashTick[id] = crashedAt
+	c.events.Schedule(crashedAt+int64(c.cfg.RecoveryTicks), func() {
+		c.reassignOrphans(id, crashedAt)
+	})
+	return true
+}
+
+// CrashHottest crashes the live rank with the highest load (last
+// epoch's ops/sec, tie-broken by total ops served, then by rank) and
+// returns its rank, or -1 when fewer than two ranks are live (crashing
+// the last survivor would leave nobody to take over).
+func (c *Cluster) CrashHottest() int {
+	best, bestLoad, bestOps, liveN := -1, -1.0, int64(-1), 0
+	for i, s := range c.servers {
+		if !s.Up() {
+			continue
+		}
+		liveN++
+		load, ops := s.CurrentLoad(), s.OpsTotal()
+		if load > bestLoad || (load == bestLoad && ops > bestOps) {
+			best, bestLoad, bestOps = i, load, ops
+		}
+	}
+	if liveN < 2 || best < 0 {
+		return -1
+	}
+	c.CrashMDS(best)
+	return best
+}
+
+// RecoverMDS brings a crashed rank back up immediately. Its heat and
+// trace statistics are invalidated (see mds.Server.Rejoin); if its
+// subtrees had not yet been taken over, the pending takeover is
+// cancelled and they are simply valid again. It returns false for an
+// invalid or already-up rank.
+func (c *Cluster) RecoverMDS(rank int) bool {
+	if rank < 0 || rank >= len(c.servers) || c.servers[rank].Up() {
+		return false
+	}
+	id := namespace.MDSID(rank)
+	c.servers[rank].Rejoin()
+	delete(c.orphaned, id)
+	delete(c.crashTick, id)
+	return true
+}
+
+// ScheduleCrash arranges for the given rank to crash at the tick.
+func (c *Cluster) ScheduleCrash(tick int64, rank int) {
+	c.events.Schedule(tick, func() { c.CrashMDS(rank) })
+}
+
+// ScheduleCrashHottest arranges for the hottest live rank to crash at
+// the tick (the adversarial failure of the failover experiment).
+func (c *Cluster) ScheduleCrashHottest(tick int64) {
+	c.events.Schedule(tick, func() { c.CrashHottest() })
+}
+
+// ScheduleRecover arranges for the given rank to rejoin at the tick.
+func (c *Cluster) ScheduleRecover(tick int64, rank int) {
+	c.events.Schedule(tick, func() { c.RecoverMDS(rank) })
+}
+
+// ApplyFaults schedules every event of the fault schedule.
+func (c *Cluster) ApplyFaults(s fault.Schedule) {
+	for _, ev := range s.Events {
+		switch {
+		case ev.Kind == fault.Crash && ev.Rank == fault.HottestRank:
+			c.ScheduleCrashHottest(ev.Tick)
+		case ev.Kind == fault.Crash:
+			c.ScheduleCrash(ev.Tick, ev.Rank)
+		case ev.Kind == fault.Recover:
+			c.ScheduleRecover(ev.Tick, ev.Rank)
+		}
+	}
+}
+
+// DownRanks returns the currently-down ranks in rank order.
+func (c *Cluster) DownRanks() []int {
+	var out []int
+	for i, s := range c.servers {
+		if !s.Up() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// reassignOrphans executes the failover takeover for a rank that
+// crashed at crashedAt: every subtree entry still owned by the dead
+// rank moves to a surviving rank, least-loaded first (each takeover
+// adds the orphan's estimated load share, so one idle survivor does not
+// swallow the entire dead rank). Stale invocations — the rank rejoined,
+// or crashed again later — are no-ops; if no survivor is live the
+// takeover retries every tick until one is.
+func (c *Cluster) reassignOrphans(dead namespace.MDSID, crashedAt int64) {
+	if !c.orphaned[dead] || c.crashTick[dead] != crashedAt {
+		return // rejoined, or a newer crash owns the takeover
+	}
+	if c.servers[dead].Up() {
+		delete(c.orphaned, dead)
+		return
+	}
+	entries := c.part.EntriesOf(dead)
+	if len(entries) == 0 {
+		delete(c.orphaned, dead)
+		return
+	}
+	type survivor struct {
+		id  namespace.MDSID
+		eff float64
+	}
+	var live []survivor
+	for i, s := range c.servers {
+		if s.Up() {
+			live = append(live, survivor{namespace.MDSID(i), s.CurrentLoad()})
+		}
+	}
+	if len(live) == 0 {
+		c.events.Schedule(c.tick+1, func() { c.reassignOrphans(dead, crashedAt) })
+		return
+	}
+	// The dead rank's last known load, spread evenly across its
+	// entries, approximates what each takeover adds to a survivor.
+	share := c.servers[dead].CurrentLoad() / float64(len(entries))
+	if share <= 0 {
+		share = 1
+	}
+	for _, e := range entries {
+		best := 0
+		for i := 1; i < len(live); i++ {
+			if live[i].eff < live[best].eff {
+				best = i
+			}
+		}
+		c.part.SetAuth(e.Key, live[best].id)
+		live[best].eff += share
+	}
+	c.rec.AddRecovery(metrics.RecoveryEvent{
+		Rank:         int(dead),
+		CrashTick:    crashedAt,
+		ReassignTick: c.tick,
+		Entries:      len(entries),
+	})
+	delete(c.orphaned, dead)
+	delete(c.crashTick, dead)
 }
 
 // AddMDS immediately grows the cluster by one server and returns it.
@@ -289,6 +500,8 @@ func (c *Cluster) Step() {
 		perMDS[i] = s.OpsThisTick()
 	}
 	c.rec.SampleTick(tick, perMDS, c.migrator.MigratedInodes(), c.forwards)
+	c.recoveryTickSum += int64(len(c.orphaned))
+	c.rec.SampleFaults(tick, c.stalledDown, c.migrator.AbortedTasks(), c.recoveryTickSum)
 
 	if (tick+1)%int64(c.cfg.EpochTicks) == 0 {
 		c.endEpoch(tick, epoch)
@@ -299,6 +512,9 @@ func (c *Cluster) Step() {
 func (c *Cluster) stepClient(cl *client.Client, tick, epoch int64) {
 	if cl.Done() || tick < cl.StartTick() {
 		return
+	}
+	if !cl.RetryReady(tick) {
+		return // backing off after failures against a down rank
 	}
 	if cl.Debt() > 0 {
 		cl.PayDebt(c.osds.Consume(cl.Debt()))
@@ -312,7 +528,14 @@ func (c *Cluster) stepClient(cl *client.Client, tick, epoch int64) {
 		if !ok {
 			break
 		}
-		if !c.execute(cl, op, epoch) {
+		switch c.execute(cl, op, epoch) {
+		case execStallDown:
+			// The authoritative (or a relaying) rank is down: retry
+			// with capped exponential backoff instead of spinning.
+			c.stalledDown++
+			cl.RetainBackoff(tick)
+			return
+		case execStall:
 			cl.Retain()
 			return
 		}
@@ -331,13 +554,27 @@ func (c *Cluster) stepClient(cl *client.Client, tick, epoch int64) {
 	}
 }
 
+// execStatus is the outcome of one op attempt.
+type execStatus int
+
+const (
+	// execOK: the op was served.
+	execOK execStatus = iota
+	// execStall: a saturated or frozen target; retry next tick.
+	execStall
+	// execStallDown: the authoritative or a relaying rank is down;
+	// retry with backoff and account the attempt as stalled-on-down.
+	execStallDown
+)
+
 // execute serves one metadata op for the given client. With a valid
 // authority-cache entry the client contacts the authoritative MDS
 // directly; otherwise the request traverses the authority chain,
 // charging one forwarding unit at every relay hop (how CephFS resolves
-// unknown or stale subtree mappings). It returns false when the op must
-// stall (saturated or frozen target).
-func (c *Cluster) execute(cl *client.Client, op workload.Op, epoch int64) bool {
+// unknown or stale subtree mappings). The op stalls when the target is
+// saturated or frozen (execStall) or when a required rank is down — an
+// orphaned subtree inside its recovery window (execStallDown).
+func (c *Cluster) execute(cl *client.Client, op workload.Op, epoch int64) execStatus {
 	target := op.Target
 	if op.Kind == workload.OpCreate {
 		target = op.Parent.Child(op.Name)
@@ -345,31 +582,39 @@ func (c *Cluster) execute(cl *client.Client, op workload.Op, epoch int64) bool {
 			in, err := c.tree.Create(op.Parent, op.Name, op.Size)
 			if err != nil {
 				// Name raced into existence or invalid: treat as served.
-				return true
+				return execOK
 			}
 			target = in
 		}
 	}
 	chain, entry := c.part.ResolveChain(target)
 	auth := c.servers[entry.Auth]
+	if !auth.Up() {
+		auth.NoteStall()
+		return execStallDown
+	}
 	if c.migrator.IsFrozen(entry.Key) {
 		auth.NoteStall()
-		return false
+		return execStall
 	}
 	if !auth.HasBudget() {
 		auth.NoteStall()
-		return false
+		return execStall
 	}
 	cached, ok := cl.CacheLookup(entry.Key)
 	if ok && cached == entry.Auth {
 		auth.Serve(entry, target, epoch)
-		return true
+		return execOK
 	}
 	// Cache miss or stale mapping: the request relays along the chain.
 	for _, h := range chain[:len(chain)-1] {
+		if !c.servers[h].Up() {
+			c.servers[h].NoteStall()
+			return execStallDown
+		}
 		if !c.servers[h].HasBudget() {
 			c.servers[h].NoteStall()
-			return false
+			return execStall
 		}
 	}
 	for _, h := range chain[:len(chain)-1] {
@@ -378,15 +623,21 @@ func (c *Cluster) execute(cl *client.Client, op workload.Op, epoch int64) bool {
 	auth.Serve(entry, target, epoch)
 	c.forwards += int64(len(chain) - 1)
 	cl.CacheStore(entry.Key, entry.Auth)
-	return true
+	return execOK
 }
 
 func (c *Cluster) endEpoch(tick, epoch int64) {
-	loads := make([]float64, len(c.servers))
-	for i, s := range c.servers {
-		loads[i] = s.EndEpoch(c.cfg.EpochTicks)
+	// Epoch bookkeeping runs on every server (down ones record a zero
+	// epoch), but the imbalance factor is evaluated over live ranks
+	// only — a crashed server is an availability event, not imbalance.
+	var liveLoads []float64
+	for _, s := range c.servers {
+		load := s.EndEpoch(c.cfg.EpochTicks)
+		if s.Up() {
+			liveLoads = append(liveLoads, load)
+		}
 	}
-	res := core.IFModel{}.Compute(loads, float64(c.cfg.Capacity))
+	res := core.IFModel{}.Compute(liveLoads, float64(c.cfg.Capacity))
 	c.rec.SampleEpoch(tick, res.IF, res.CoV)
 	c.cfg.Balancer.Rebalance(&view{c: c, epoch: epoch})
 }
@@ -418,6 +669,9 @@ func (v *view) Epoch() int64                          { return v.epoch }
 func (v *view) EpochTicks() int                       { return v.c.cfg.EpochTicks }
 func (v *view) NumMDS() int                           { return len(v.c.servers) }
 func (v *view) Server(id namespace.MDSID) *mds.Server { return v.c.servers[id] }
+func (v *view) Up(id namespace.MDSID) bool {
+	return int(id) < len(v.c.servers) && v.c.servers[id].Up()
+}
 func (v *view) Partition() *namespace.Partition       { return v.c.part }
 func (v *view) Migrator() *mds.Migrator               { return v.c.migrator }
 func (v *view) Capacity() float64                     { return float64(v.c.cfg.Capacity) }

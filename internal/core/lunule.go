@@ -157,6 +157,11 @@ func (b *Lunule) housekeep(v balancer.View) {
 		if e.Key == rootKey || mig.IsFrozen(e.Key) || mig.PendingFor(e.Auth)[e.Key] {
 			continue
 		}
+		if !v.Up(e.Auth) {
+			// Orphaned entry awaiting failover takeover: leave it for
+			// the recovery policy, do not merge/absorb around it.
+			continue
+		}
 		if e.Key.Frag.IsWhole() {
 			if enc, ok := part.EnclosingAuth(e.Key); ok && enc == e.Auth {
 				part.Absorb(e.Key)
@@ -177,7 +182,22 @@ func (b *Lunule) housekeep(v balancer.View) {
 func (b *Lunule) Rebalance(v balancer.View) {
 	b.housekeep(v)
 	n := v.NumMDS()
-	loads := balancer.Loads(v)
+	// The plan runs over live ranks only: a down rank neither reports
+	// an Imbalance State nor may be chosen as an endpoint. The compact
+	// live-index arrays are mapped back to real ranks afterwards.
+	live := balancer.LiveRanks(v)
+	if len(live) < 2 {
+		v.Ledger().EpochLunule(n, 0, nil, 0)
+		return
+	}
+	allLoads := balancer.Loads(v)
+	allHistories := balancer.LoadHistories(v)
+	loads := make([]float64, len(live))
+	histories := make([][]float64, len(live))
+	for i, id := range live {
+		loads[i] = allLoads[id]
+		histories[i] = allHistories[id]
+	}
 	b.lastResult = IFModel{S: b.cfg.Smoothness}.Compute(loads, v.Capacity())
 	if b.cfg.DisableUrgency {
 		// Ablation: raw normalized CoV, no benign-imbalance tolerance.
@@ -191,7 +211,7 @@ func (b *Lunule) Rebalance(v balancer.View) {
 		return
 	}
 
-	plan := Plan(loads, balancer.LoadHistories(v), PlannerConfig{
+	plan := Plan(loads, histories, PlannerConfig{
 		L:                 b.cfg.L,
 		Cap:               b.cfg.CapFraction * v.Capacity(),
 		HistoryEpochs:     b.cfg.HistoryEpochs,
@@ -200,6 +220,10 @@ func (b *Lunule) Rebalance(v balancer.View) {
 	if len(plan) == 0 {
 		v.Ledger().EpochLunule(n, 0, nil, 0)
 		return
+	}
+	for i := range plan {
+		plan[i].From = live[plan[i].From]
+		plan[i].To = live[plan[i].To]
 	}
 	b.rebalances++
 

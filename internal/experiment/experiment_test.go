@@ -19,7 +19,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"table1", "fig2", "fig3", "fig4", "fig6", "fig7", "fig8",
 		"fig9", "fig10", "fig11", "fig12a", "fig12b",
-		"fig13a", "fig13b", "fig14", "overhead",
+		"fig13a", "fig13b", "fig14", "overhead", "failover",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {
@@ -203,6 +203,33 @@ func TestHeteroRunsComplete(t *testing.T) {
 	}
 	if lun < van*0.9 {
 		t.Fatalf("Lunule degraded throughput %v far below Vanilla %v", lun, van)
+	}
+}
+
+func TestFailoverZeroLostOps(t *testing.T) {
+	res, err := Run("failover", Options{Scale: 0.25, Seed: 42, MaxTicks: 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wl := range []string{"Zipf", "SharedDir"} {
+		for _, b := range []string{"Vanilla", "Lunule"} {
+			key := wl + "." + b
+			if res.Values[key+".done"] != 1 {
+				t.Fatalf("%s: clients unfinished — lost ops after the crash", key)
+			}
+			// The crash must be observable: either ops stalled on the dead
+			// rank, or an in-flight export aborted (when the hottest rank
+			// was mid-export, authority rolls to the importer and clients
+			// redirect without stalling).
+			if res.Values[key+".stalled"]+res.Values[key+".aborted"] == 0 {
+				t.Fatalf("%s: crash of the hottest rank left no trace", key)
+			}
+			// Takeover happens exactly at the configured window for every
+			// subtree the dead rank owned.
+			if r := res.Values[key+".reassign"]; r != 0 && r != failoverRecoveryTicks {
+				t.Fatalf("%s: reassign after %v ticks, want %d", key, r, failoverRecoveryTicks)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,168 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestParseSpecs(t *testing.T) {
+	s, err := ParseSpecs("400:0, 100:1", Crash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{
+		{Tick: 100, Rank: 1, Kind: Crash},
+		{Tick: 400, Rank: 0, Kind: Crash},
+	}
+	if !reflect.DeepEqual(s.Events, want) {
+		t.Fatalf("events = %+v, want %+v (sorted by tick)", s.Events, want)
+	}
+	if err := s.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseSpecsHottest(t *testing.T) {
+	s, err := ParseSpecs("250:hot", Crash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Events) != 1 || s.Events[0].Rank != HottestRank {
+		t.Fatalf("events = %+v, want one HottestRank crash", s.Events)
+	}
+	// "hot" validates against any cluster size for crashes ...
+	if err := s.Validate(1); err != nil {
+		t.Fatal(err)
+	}
+	// ... but is rejected for recoveries (there is no hottest-down rank).
+	if _, err := ParseSpecs("250:hot", Recover); err == nil {
+		t.Fatal("recover spec 'hot' must be rejected")
+	}
+}
+
+func TestParseSpecsEmpty(t *testing.T) {
+	s, err := ParseSpecs("  ", Crash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Empty() {
+		t.Fatal("blank spec must parse to an empty schedule")
+	}
+}
+
+func TestParseSpecsErrors(t *testing.T) {
+	for _, spec := range []string{"100", "x:1", "100:x", "-5:1", "100:-2", "100:1:2extra,"} {
+		if _, err := ParseSpecs(spec, Crash); err == nil {
+			t.Errorf("ParseSpecs(%q) = nil error, want error", spec)
+		}
+	}
+}
+
+func TestValidateRange(t *testing.T) {
+	var s Schedule
+	s.Crash(10, 5)
+	if err := s.Validate(5); err == nil {
+		t.Fatal("rank 5 in a 5-rank cluster must be rejected")
+	}
+	if err := s.Validate(6); err != nil {
+		t.Fatal(err)
+	}
+	var neg Schedule
+	neg.Recover(-1, 0)
+	if err := neg.Validate(6); err == nil {
+		t.Fatal("negative tick must be rejected")
+	}
+}
+
+func TestMergeSorts(t *testing.T) {
+	var a Schedule
+	a.Crash(300, 0)
+	var b Schedule
+	b.Recover(100, 1)
+	a.Merge(b)
+	if a.Events[0].Tick != 100 || a.Events[1].Tick != 300 {
+		t.Fatalf("merged events not sorted: %+v", a.Events)
+	}
+}
+
+func TestMTBFDeterministic(t *testing.T) {
+	cfg := MTBFConfig{Ranks: 5, MTBF: 200, Horizon: 5000}
+	a := MTBF(cfg, rng.New(7).Fork(99))
+	b := MTBF(cfg, rng.New(7).Fork(99))
+	if a.Empty() {
+		t.Fatal("MTBF 200 over 5000 ticks should produce events")
+	}
+	if !reflect.DeepEqual(a.Events, b.Events) {
+		t.Fatal("same seed must draw the same schedule")
+	}
+	c := MTBF(cfg, rng.New(8).Fork(99))
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Fatal("different seeds should draw different schedules")
+	}
+}
+
+// TestMTBFKeepsOneSurvivor replays each generated schedule and asserts
+// the concurrent-down invariant: at no point are all ranks down, so the
+// cluster always has a survivor to take over orphaned subtrees.
+func TestMTBFKeepsOneSurvivor(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		cfg := MTBFConfig{Ranks: 3, MTBF: 50, MTTR: 100, Horizon: 4000}
+		s := MTBF(cfg, rng.New(seed))
+		if err := s.Validate(cfg.Ranks); err != nil {
+			t.Fatal(err)
+		}
+		down := map[int]bool{}
+		for _, ev := range s.Events {
+			switch ev.Kind {
+			case Crash:
+				if down[ev.Rank] {
+					t.Fatalf("seed %d: rank %d crashed while down", seed, ev.Rank)
+				}
+				down[ev.Rank] = true
+			case Recover:
+				if !down[ev.Rank] {
+					t.Fatalf("seed %d: rank %d recovered while up", seed, ev.Rank)
+				}
+				delete(down, ev.Rank)
+			}
+			if len(down) >= cfg.Ranks {
+				t.Fatalf("seed %d: all %d ranks down simultaneously", seed, cfg.Ranks)
+			}
+			if ev.Tick < 0 || ev.Tick >= cfg.Horizon {
+				t.Fatalf("seed %d: event tick %d outside horizon", seed, ev.Tick)
+			}
+		}
+	}
+}
+
+func TestMTBFMaxConcurrent(t *testing.T) {
+	cfg := MTBFConfig{Ranks: 6, MTBF: 30, MTTR: 200, Horizon: 4000, MaxConcurrent: 1}
+	s := MTBF(cfg, rng.New(3))
+	down := 0
+	for _, ev := range s.Events {
+		if ev.Kind == Crash {
+			down++
+		} else {
+			down--
+		}
+		if down > 1 {
+			t.Fatalf("more than MaxConcurrent=1 rank down at tick %d", ev.Tick)
+		}
+	}
+}
+
+func TestMTBFDegenerateConfigs(t *testing.T) {
+	for _, cfg := range []MTBFConfig{
+		{},
+		{Ranks: 0, MTBF: 100, Horizon: 1000},
+		{Ranks: 3, MTBF: 0, Horizon: 1000},
+		{Ranks: 3, MTBF: 100, Horizon: 0},
+		{Ranks: 1, MTBF: 100, Horizon: 1000}, // single rank: no failure leaves a survivor
+	} {
+		if s := MTBF(cfg, rng.New(1)); !s.Empty() {
+			t.Errorf("MTBF(%+v) produced %d events, want none", cfg, len(s.Events))
+		}
+	}
+}

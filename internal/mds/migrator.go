@@ -15,6 +15,11 @@ const (
 	TaskActive
 	TaskDone
 	TaskDropped
+	// TaskAborted marks a task cancelled because its exporter or
+	// importer crashed; authority was rolled to the surviving side.
+	// Aborts are accounted separately from drops: a drop is a planning
+	// staleness (TTL, authority change), an abort is a failure event.
+	TaskAborted
 )
 
 // ExportTask is one planned subtree migration. Tasks move through
@@ -55,6 +60,11 @@ type Migrator struct {
 	// (the commit phase); during the rest of the transfer the exporter
 	// keeps serving it, as in CephFS's incremental export.
 	FreezeTicks int64
+	// ValidRank, when set, reports whether a rank is a live, valid
+	// migration endpoint. Tasks whose importer (or exporter) fails the
+	// check at activation are dropped, never activated — a migration
+	// must not ship a subtree to a dead or nonexistent rank.
+	ValidRank func(namespace.MDSID) bool
 
 	queued []*ExportTask
 	active []*ExportTask
@@ -64,6 +74,7 @@ type Migrator struct {
 	migratedInodes int64 // cumulative, for Figure 4
 	completedTasks int64
 	droppedTasks   int64
+	abortedTasks   int64
 	submitted      int64
 
 	// onComplete is invoked for each finished task (e.g. to drop the
@@ -155,6 +166,12 @@ func (m *Migrator) Tick(tick int64) {
 			m.drop(t)
 			continue
 		}
+		if !m.rankValid(t.To) || !m.rankValid(t.From) {
+			// Importer (or exporter) is dead or out of range: the task
+			// must never activate against an invalid endpoint.
+			m.drop(t)
+			continue
+		}
 		if activePer[t.From] >= m.MaxActivePerExporter || m.frozen[t.Key] {
 			remaining = append(remaining, t)
 			continue
@@ -199,6 +216,60 @@ func (m *Migrator) drop(t *ExportTask) {
 	m.droppedTasks++
 }
 
+// rankValid applies the ValidRank hook plus the always-on sanity check
+// that a rank is non-negative.
+func (m *Migrator) rankValid(r namespace.MDSID) bool {
+	if r < 0 {
+		return false
+	}
+	if m.ValidRank == nil {
+		return true
+	}
+	return m.ValidRank(r)
+}
+
+// AbortRank cancels every queued and in-flight export that involves the
+// given (crashed) rank and returns how many tasks were aborted.
+// Authority of an aborted in-flight export rolls to the surviving side:
+// if the exporter died the importer completes the takeover (it already
+// holds the replicated subtree from the transfer phase, as in a CephFS
+// importer finishing from its journal), and if the importer died the
+// subtree simply stays with the exporter, which never stopped being
+// authoritative. Either way the subtree is unfrozen and the partition
+// is left pointing at a live rank for that entry.
+func (m *Migrator) AbortRank(dead namespace.MDSID) int {
+	aborted := 0
+	var stillActive []*ExportTask
+	for _, t := range m.active {
+		if t.From != dead && t.To != dead {
+			stillActive = append(stillActive, t)
+			continue
+		}
+		t.State = TaskAborted
+		delete(m.frozen, t.Key)
+		if t.From == dead {
+			// Exporter died mid-flight: the importer takes over.
+			m.part.SetAuth(t.Key, t.To)
+		}
+		m.abortedTasks++
+		aborted++
+	}
+	m.active = stillActive
+
+	var stillQueued []*ExportTask
+	for _, t := range m.queued {
+		if t.From != dead && t.To != dead {
+			stillQueued = append(stillQueued, t)
+			continue
+		}
+		t.State = TaskAborted
+		m.abortedTasks++
+		aborted++
+	}
+	m.queued = stillQueued
+	return aborted
+}
+
 // MigratedInodes returns the cumulative number of migrated inodes.
 func (m *Migrator) MigratedInodes() int64 { return m.migratedInodes }
 
@@ -207,6 +278,9 @@ func (m *Migrator) CompletedTasks() int64 { return m.completedTasks }
 
 // DroppedTasks returns the number of dropped/expired exports.
 func (m *Migrator) DroppedTasks() int64 { return m.droppedTasks }
+
+// AbortedTasks returns the number of exports aborted by crashes.
+func (m *Migrator) AbortedTasks() int64 { return m.abortedTasks }
 
 // SubmittedTasks returns the number of submitted exports.
 func (m *Migrator) SubmittedTasks() int64 { return m.submitted }

@@ -23,7 +23,12 @@ type Server struct {
 	fwdTotal    int64 // forwarding units served overall
 	stallsTotal int64 // requests stalled here (no budget or frozen target)
 
-	collector *trace.Collector
+	down      bool  // crashed: serves nothing until Rejoin
+	downTicks int64 // cumulative ticks spent down
+	crashes   int64 // lifecycle transitions up -> down
+
+	collector      *trace.Collector
+	historyWindows int
 
 	heatDecay float64
 	heatByKey map[namespace.FragKey]float64
@@ -44,29 +49,80 @@ func NewServer(id namespace.MDSID, capacity, historyWindows int, heatDecay float
 		panic("mds: heat decay must be in (0, 1]")
 	}
 	return &Server{
-		ID:        id,
-		Capacity:  capacity,
-		collector: trace.NewCollector(historyWindows),
-		heatDecay: heatDecay,
-		heatByKey: make(map[namespace.FragKey]float64),
-		heatByDir: make(map[namespace.Ino]float64),
+		ID:             id,
+		Capacity:       capacity,
+		collector:      trace.NewCollector(historyWindows),
+		historyWindows: historyWindows,
+		heatDecay:      heatDecay,
+		heatByKey:      make(map[namespace.FragKey]float64),
+		heatByDir:      make(map[namespace.Ino]float64),
 	}
 }
 
-// BeginTick resets the per-tick service budget.
+// BeginTick resets the per-tick service budget. A down server gets no
+// budget: it serves nothing until it rejoins.
 func (s *Server) BeginTick() {
+	if s.down {
+		s.budget = 0
+		s.opsTick = 0
+		s.downTicks++
+		return
+	}
 	s.budget = s.Capacity
 	s.opsTick = 0
 }
 
 // SetCapacity changes the server's per-tick capacity (heterogeneous
 // hardware, degradation injection). It takes effect at the next tick.
-func (s *Server) SetCapacity(capacity int) {
+// Non-positive capacities are clamped to 1; the return values make the
+// clamp explicit (applied capacity, whether clamping happened), so
+// fault scripts with typo'd values cannot silently degenerate to a
+// 1-op/s server without the caller noticing.
+func (s *Server) SetCapacity(capacity int) (applied int, clamped bool) {
 	if capacity < 1 {
 		capacity = 1
+		clamped = true
 	}
 	s.Capacity = capacity
+	return capacity, clamped
 }
+
+// Up reports whether the server is alive (serving requests).
+func (s *Server) Up() bool { return !s.down }
+
+// Crash takes the server down: its remaining budget is voided and it
+// serves nothing until Rejoin. Crashing a down server is a no-op.
+func (s *Server) Crash() {
+	if s.down {
+		return
+	}
+	s.down = true
+	s.budget = 0
+	s.crashes++
+}
+
+// Rejoin brings a crashed server back up. Its heat and trace
+// statistics are invalidated — a restarted MDS has an empty cache and
+// an empty journal of recent accesses, so stale pre-crash popularity
+// must not steer post-recovery balancing — and its load history is
+// cleared for the same reason. Rejoining an up server is a no-op.
+func (s *Server) Rejoin() {
+	if !s.down {
+		return
+	}
+	s.down = false
+	s.collector = trace.NewCollector(s.historyWindows)
+	s.heatByKey = make(map[namespace.FragKey]float64)
+	s.heatByDir = make(map[namespace.Ino]float64)
+	s.loadHistory = nil
+	s.opsEpoch = 0
+}
+
+// Crashes returns how many times the server went down.
+func (s *Server) Crashes() int64 { return s.crashes }
+
+// DownTicks returns the cumulative ticks the server spent down.
+func (s *Server) DownTicks() int64 { return s.downTicks }
 
 // HasBudget reports whether the server can accept more work this tick.
 func (s *Server) HasBudget() bool { return s.budget > 0 }

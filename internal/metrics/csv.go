@@ -17,7 +17,8 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 	for i := range r.PerMDS {
 		header = append(header, fmt.Sprintf("mds%d_iops", i+1))
 	}
-	header = append(header, "migrated_inodes", "forwards")
+	header = append(header, "migrated_inodes", "forwards",
+		"stalled_on_down", "aborted_exports", "recovery_ticks")
 	if _, err := io.WriteString(w, strings.Join(header, ",")+"\n"); err != nil {
 		return err
 	}
@@ -32,6 +33,9 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 		cells = append(cells,
 			valueCell(&r.Migrated, row),
 			valueCell(&r.Forwards, row),
+			valueCell(&r.StalledDown, row),
+			valueCell(&r.Aborted, row),
+			valueCell(&r.Recovery, row),
 		)
 		if _, err := io.WriteString(w, strings.Join(cells, ",")+"\n"); err != nil {
 			return err

@@ -1,6 +1,8 @@
 package metrics
 
 import (
+	"encoding/csv"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -17,14 +19,78 @@ func TestWriteCSV(t *testing.T) {
 	if len(lines) != 3 {
 		t.Fatalf("lines = %d, want header + 2 rows", len(lines))
 	}
-	if lines[0] != "tick,agg_iops,mds1_iops,mds2_iops,migrated_inodes,forwards" {
+	if lines[0] != "tick,agg_iops,mds1_iops,mds2_iops,migrated_inodes,forwards,stalled_on_down,aborted_exports,recovery_ticks" {
 		t.Fatalf("header = %q", lines[0])
 	}
-	if lines[1] != "0,150,100,50,10,1" {
+	// The fault columns are empty when SampleFaults was never called.
+	if lines[1] != "0,150,100,50,10,1,,," {
 		t.Fatalf("row 1 = %q", lines[1])
 	}
-	if lines[2] != "1,260,200,60,20,2" {
+	if lines[2] != "1,260,200,60,20,2,,," {
 		t.Fatalf("row 2 = %q", lines[2])
+	}
+}
+
+// TestWriteCSVFaultColumnsRoundTrip writes a recorder that sampled
+// fault counters and parses the CSV back, asserting every fault cell
+// survives the trip.
+func TestWriteCSVFaultColumnsRoundTrip(t *testing.T) {
+	r := NewRecorder(2)
+	samples := []struct {
+		perMDS                         []int
+		stalledDown, aborted, recovery int64
+	}{
+		{[]int{100, 50}, 0, 0, 0},
+		{[]int{0, 60}, 7, 2, 1},
+		{[]int{0, 70}, 19, 2, 2},
+		{[]int{90, 80}, 19, 2, 2},
+	}
+	for i, s := range samples {
+		tick := int64(i)
+		r.SampleTick(tick, s.perMDS, 0, 0)
+		r.SampleFaults(tick, s.stalledDown, s.aborted, s.recovery)
+	}
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(samples)+1 {
+		t.Fatalf("rows = %d, want %d", len(rows), len(samples)+1)
+	}
+	col := map[string]int{}
+	for i, name := range rows[0] {
+		col[name] = i
+	}
+	for _, name := range []string{"stalled_on_down", "aborted_exports", "recovery_ticks"} {
+		if _, ok := col[name]; !ok {
+			t.Fatalf("column %q missing from header %v", name, rows[0])
+		}
+	}
+	parse := func(row int, name string) int64 {
+		v, err := strconv.ParseInt(rows[row][col[name]], 10, 64)
+		if err != nil {
+			t.Fatalf("row %d col %s: %v", row, name, err)
+		}
+		return v
+	}
+	for i, s := range samples {
+		row := i + 1
+		if got := parse(row, "tick"); got != int64(i) {
+			t.Fatalf("row %d tick = %d", row, got)
+		}
+		if got := parse(row, "stalled_on_down"); got != s.stalledDown {
+			t.Fatalf("row %d stalled_on_down = %d, want %d", row, got, s.stalledDown)
+		}
+		if got := parse(row, "aborted_exports"); got != s.aborted {
+			t.Fatalf("row %d aborted_exports = %d, want %d", row, got, s.aborted)
+		}
+		if got := parse(row, "recovery_ticks"); got != s.recovery {
+			t.Fatalf("row %d recovery_ticks = %d, want %d", row, got, s.recovery)
+		}
 	}
 }
 

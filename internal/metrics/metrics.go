@@ -29,6 +29,18 @@ type Recorder struct {
 	// JCT holds each finished client's completion tick.
 	JCT []float64
 
+	// StalledDown is the cumulative count of op attempts that stalled
+	// because the authoritative (or a relaying) rank was down.
+	StalledDown stats.Series
+	// Aborted is the cumulative count of exports aborted by crashes.
+	Aborted stats.Series
+	// Recovery is the cumulative count of orphaned rank-ticks: each
+	// tick adds one per crashed rank whose subtrees are still awaiting
+	// takeover (the unavailability the recovery window buys).
+	Recovery stats.Series
+
+	recoveries []RecoveryEvent
+
 	// latency histograms per-op service latency in ticks: index i
 	// counts ops completed with latency i+1; the final slot is the
 	// overflow bucket.
@@ -36,6 +48,21 @@ type Recorder struct {
 	latencyN   int64
 	latencySum int64
 }
+
+// RecoveryEvent records one completed failover takeover.
+type RecoveryEvent struct {
+	// Rank is the crashed MDS rank whose subtrees were reassigned.
+	Rank int
+	// CrashTick is when the rank went down.
+	CrashTick int64
+	// ReassignTick is when its orphaned subtrees moved to survivors.
+	ReassignTick int64
+	// Entries is how many subtree entries were reassigned.
+	Entries int
+}
+
+// TicksToReassign returns the outage window before takeover.
+func (e RecoveryEvent) TicksToReassign() int64 { return e.ReassignTick - e.CrashTick }
 
 // maxLatencyBucket caps the latency histogram (ops slower than this
 // land in the overflow slot).
@@ -67,6 +94,46 @@ func (r *Recorder) SampleTick(tick int64, perMDS []int, migrated, forwards int64
 	r.Agg.Append(tick, float64(total))
 	r.Migrated.Append(tick, float64(migrated))
 	r.Forwards.Append(tick, float64(forwards))
+}
+
+// SampleFaults records one tick's cumulative fault counters: ops
+// stalled on down ranks, exports aborted by crashes, and orphaned
+// rank-ticks spent waiting for takeover.
+func (r *Recorder) SampleFaults(tick int64, stalledDown, aborted, recoveryTicks int64) {
+	r.StalledDown.Append(tick, float64(stalledDown))
+	r.Aborted.Append(tick, float64(aborted))
+	r.Recovery.Append(tick, float64(recoveryTicks))
+}
+
+// AddRecovery records a completed failover takeover.
+func (r *Recorder) AddRecovery(ev RecoveryEvent) {
+	r.recoveries = append(r.recoveries, ev)
+}
+
+// RecoveryEvents returns the recorded takeovers (shared slice; callers
+// must not modify it).
+func (r *Recorder) RecoveryEvents() []RecoveryEvent { return r.recoveries }
+
+// StalledDownTotal returns the final stalled-on-down count.
+func (r *Recorder) StalledDownTotal() float64 { return r.StalledDown.Last() }
+
+// AbortedTotal returns the final crash-aborted export count.
+func (r *Recorder) AbortedTotal() float64 { return r.Aborted.Last() }
+
+// RecoveryTicksTotal returns the final orphaned rank-tick count.
+func (r *Recorder) RecoveryTicksTotal() float64 { return r.Recovery.Last() }
+
+// MeanTicksToReassign returns the mean outage window across recorded
+// takeovers (0 when none happened).
+func (r *Recorder) MeanTicksToReassign() float64 {
+	if len(r.recoveries) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, ev := range r.recoveries {
+		sum += float64(ev.TicksToReassign())
+	}
+	return sum / float64(len(r.recoveries))
 }
 
 // SampleEpoch records the epoch-boundary imbalance evaluation.

@@ -56,6 +56,11 @@ func (v *View) EpochTicks() int { return v.EpochTicksV }
 // NumMDS implements balancer.View.
 func (v *View) NumMDS() int { return len(v.Servers) }
 
+// Up implements balancer.View.
+func (v *View) Up(id namespace.MDSID) bool {
+	return int(id) < len(v.Servers) && v.Servers[id].Up()
+}
+
 // Server implements balancer.View.
 func (v *View) Server(id namespace.MDSID) *mds.Server { return v.Servers[id] }
 
