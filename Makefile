@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench
+.PHONY: all build test vet race check bench gobench
 
 all: check
 
@@ -20,5 +20,12 @@ race:
 # race detector.
 check: build vet race
 
+# bench runs the tick-loop benchmark matrix and diffs it against the
+# checked-in baseline (informational ratios; regenerate the baseline
+# with `go run ./cmd/lunule-bench -tickbench -tickbench-out BENCH_pr2.json`).
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) run ./cmd/lunule-bench -tickbench -tickbench-baseline BENCH_pr2.json
+
+# gobench runs the in-package Go micro-benchmarks.
+gobench:
+	$(GO) test -bench=. -benchmem ./...

@@ -1,0 +1,165 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/experiment"
+	"repro/internal/workload"
+)
+
+// tickCase is one cell of the tick-loop benchmark matrix.
+type tickCase struct {
+	Name          string  `json:"name"`
+	Workload      string  `json:"workload"`
+	MDS           int     `json:"mds"`
+	Clients       int     `json:"clients"`
+	Ticks         int64   `json:"ticks"`
+	NsPerTick     float64 `json:"ns_per_tick"`
+	OpsPerSec     float64 `json:"ops_per_sec"`
+	AllocsPerTick float64 `json:"allocs_per_tick"`
+}
+
+// tickReport is the checked-in machine-readable baseline format
+// (BENCH_pr2.json).
+type tickReport struct {
+	Go    string     `json:"go"`
+	Ticks int64      `json:"ticks_per_case"`
+	Cases []tickCase `json:"cases"`
+}
+
+// tickWorkload builds a long-running generator for a benchmark cell:
+// the op budget must outlast warmup+measure ticks so the tick loop is
+// measured at steady state, never on a drained cluster.
+func tickWorkload(kind string) (workload.Generator, error) {
+	switch kind {
+	case "zipf":
+		return workload.NewZipf(workload.ZipfConfig{FilesPerClient: 500, OpsPerClient: 1 << 30}), nil
+	case "shareddir":
+		return workload.NewMDShared(workload.MDSharedConfig{CreatesPerClient: 1 << 30}), nil
+	}
+	return nil, fmt.Errorf("unknown tickbench workload %q", kind)
+}
+
+// runTickCase measures one cell: warmup ticks to reach steady state,
+// then `ticks` measured steps timed with wall clock and alloc counters.
+func runTickCase(kind string, mds int, warmup, ticks int64) (tickCase, error) {
+	const clients = 64
+	gen, err := tickWorkload(kind)
+	if err != nil {
+		return tickCase{}, err
+	}
+	c, err := cluster.New(cluster.Config{
+		MDS:        mds,
+		Clients:    clients,
+		ClientRate: 150,
+		Seed:       42,
+		Balancer:   experiment.MakeBalancer("Lunule"),
+		Workload:   gen,
+	})
+	if err != nil {
+		return tickCase{}, err
+	}
+	c.Run(warmup)
+	opsBefore := c.Metrics().TotalOps()
+	var msBefore, msAfter runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&msBefore)
+	start := time.Now()
+	c.Run(ticks)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&msAfter)
+	ops := c.Metrics().TotalOps() - opsBefore
+	sec := elapsed.Seconds()
+	tc := tickCase{
+		Name:          fmt.Sprintf("%s/mds%d", kind, mds),
+		Workload:      kind,
+		MDS:           mds,
+		Clients:       clients,
+		Ticks:         ticks,
+		NsPerTick:     float64(elapsed.Nanoseconds()) / float64(ticks),
+		AllocsPerTick: float64(msAfter.Mallocs-msBefore.Mallocs) / float64(ticks),
+	}
+	if sec > 0 {
+		tc.OpsPerSec = ops / sec
+	}
+	return tc, nil
+}
+
+// runTickBench executes the full matrix ({4,8,16} MDS x {zipf,
+// shareddir}), prints a table, optionally writes the JSON report and
+// diffs it against a checked-in baseline. The diff is informational:
+// wall-clock numbers move with the host, so it reports ratios rather
+// than failing a threshold.
+func runTickBench(stdout io.Writer, ticks int64, outPath, baselinePath string) error {
+	if ticks <= 0 {
+		ticks = 300
+	}
+	rep := tickReport{Go: runtime.Version(), Ticks: ticks}
+	for _, kind := range []string{"zipf", "shareddir"} {
+		for _, mds := range []int{4, 8, 16} {
+			tc, err := runTickCase(kind, mds, 100, ticks)
+			if err != nil {
+				return err
+			}
+			rep.Cases = append(rep.Cases, tc)
+			fmt.Fprintf(stdout, "%-16s %10.0f ns/tick %12.0f ops/sec %8.0f allocs/tick\n",
+				tc.Name, tc.NsPerTick, tc.OpsPerSec, tc.AllocsPerTick)
+		}
+	}
+	if outPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "tick benchmark written to %s\n", outPath)
+	}
+	if baselinePath != "" {
+		if err := diffTickBaseline(stdout, rep, baselinePath); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// diffTickBaseline prints current/baseline ratios per case.
+func diffTickBaseline(stdout io.Writer, rep tickReport, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	var base tickReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	byName := make(map[string]tickCase, len(base.Cases))
+	for _, tc := range base.Cases {
+		byName[tc.Name] = tc
+	}
+	fmt.Fprintf(stdout, "\nvs baseline %s (ratio, 1.00 = unchanged; informational):\n", path)
+	for _, tc := range rep.Cases {
+		b, ok := byName[tc.Name]
+		if !ok || b.NsPerTick == 0 {
+			fmt.Fprintf(stdout, "%-16s (no baseline)\n", tc.Name)
+			continue
+		}
+		fmt.Fprintf(stdout, "%-16s %5.2fx ns/tick %5.2fx allocs/tick\n",
+			tc.Name, tc.NsPerTick/b.NsPerTick, safeRatio(tc.AllocsPerTick, b.AllocsPerTick))
+	}
+	return nil
+}
+
+func safeRatio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

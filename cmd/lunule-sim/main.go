@@ -1,16 +1,23 @@
 // Command lunule-sim runs a single simulated CephFS metadata cluster
 // with a chosen workload and balancer and prints its dynamics: per-MDS
 // throughput, imbalance-factor series, migration counts, and job
-// completion times.
+// completion times. With -trace-out it also emits a structured JSONL
+// event trace (epochs, migrations, faults, backoff transitions), and
+// with -pprof / -cpuprofile / -memprofile it exposes Go profiling.
 //
 //	lunule-sim -workload zipf -balancer lunule -mds 5 -clients 40
+//	lunule-sim -crash 100:hot -trace-out run.jsonl -trace-events migration_aborted,orphan_takeover
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -18,33 +25,55 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/fault"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/workload"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole command behind a testable seam: flags in, exit code
+// out, everything printed to the supplied writers.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lunule-sim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		wl        = flag.String("workload", "Zipf", "workload: CNN, NLP, Web, Zipf, MD, Mixed")
-		bal       = flag.String("balancer", "Lunule", "balancer: Vanilla, GreedySpill, Lunule-Light, Lunule, Dir-Hash")
-		mdsN      = flag.Int("mds", 5, "number of metadata servers")
-		clients   = flag.Int("clients", 40, "number of clients")
-		rate      = flag.Float64("rate", 150, "client op rate (ops per second)")
-		capacity  = flag.Int("capacity", 2000, "per-MDS capacity (ops per second)")
-		scale     = flag.Float64("scale", 1.0, "workload scale factor")
-		seed      = flag.Uint64("seed", 42, "random seed")
-		ticks     = flag.Int64("maxticks", 6000, "simulated-tick budget")
-		data      = flag.Bool("data", false, "enable the OSD data path")
-		csvPath   = flag.String("csv", "", "write per-tick series to this CSV file")
-		ifCSV     = flag.String("ifcsv", "", "write the per-epoch imbalance series to this CSV file")
-		traceFile = flag.String("tracefile", "", "replay this op trace instead of a synthetic workload (see lunule-trace -export)")
-		pins      = flag.String("pin", "", "comma-separated static subtree pins, e.g. /zipf/client000=1,/web=2 (ceph.dir.pin)")
-		crashes   = flag.String("crash", "", "comma-separated MDS crashes as tick:rank (rank 'hot' = hottest live rank), e.g. 100:1,400:hot")
-		recovers  = flag.String("recover", "", "comma-separated MDS recoveries as tick:rank, e.g. 300:1")
-		mtbf      = flag.Float64("mtbf", 0, "random failures: mean ticks between failures per rank (0 = off)")
-		mttr      = flag.Float64("mttr", 0, "random failures: mean ticks to repair (default mtbf/10)")
-		recoveryT = flag.Int("recoveryticks", 0, "failover takeover latency window in ticks (default 20)")
+		wl        = fs.String("workload", "Zipf", "workload: CNN, NLP, Web, Zipf, MD, Mixed")
+		bal       = fs.String("balancer", "Lunule", "balancer: Vanilla, GreedySpill, Lunule-Light, Lunule, Dir-Hash")
+		mdsN      = fs.Int("mds", 5, "number of metadata servers")
+		clients   = fs.Int("clients", 40, "number of clients")
+		rate      = fs.Float64("rate", 150, "client op rate (ops per second)")
+		capacity  = fs.Int("capacity", 2000, "per-MDS capacity (ops per second)")
+		scale     = fs.Float64("scale", 1.0, "workload scale factor")
+		seed      = fs.Uint64("seed", 42, "random seed")
+		ticks     = fs.Int64("maxticks", 6000, "simulated-tick budget")
+		data      = fs.Bool("data", false, "enable the OSD data path")
+		csvPath   = fs.String("csv", "", "write per-tick series to this CSV file")
+		ifCSV     = fs.String("ifcsv", "", "write the per-epoch imbalance series to this CSV file")
+		traceFile = fs.String("tracefile", "", "replay this op trace instead of a synthetic workload (see lunule-trace -export)")
+		pins      = fs.String("pin", "", "comma-separated static subtree pins, e.g. /zipf/client000=1,/web=2 (ceph.dir.pin)")
+		crashes   = fs.String("crash", "", "comma-separated MDS crashes as tick:rank (rank 'hot' = hottest live rank), e.g. 100:1,400:hot")
+		recovers  = fs.String("recover", "", "comma-separated MDS recoveries as tick:rank, e.g. 300:1")
+		mtbf      = fs.Float64("mtbf", 0, "random failures: mean ticks between failures per rank (0 = off)")
+		mttr      = fs.Float64("mttr", 0, "random failures: mean ticks to repair (default mtbf/10)")
+		recoveryT = fs.Int("recoveryticks", 0, "failover takeover latency window in ticks (default 20)")
+
+		traceOut   = fs.String("trace-out", "", "write a structured JSONL event trace to this file")
+		traceEvs   = fs.String("trace-events", "", "comma-separated event types to trace (empty or 'all' = everything; see EXPERIMENTS.md)")
+		traceSum   = fs.Bool("trace-summary", false, "print per-type event counts after the run")
+		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the duration of the run")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "error: %v\n", err)
+		return 1
+	}
 
 	name := canonical(*wl)
 	var gen workload.Generator
@@ -52,14 +81,12 @@ func main() {
 	if *traceFile != "" {
 		f, err := os.Open(*traceFile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "error: %v\n", err)
-			os.Exit(1)
+			return fail(err)
 		}
 		tf, err := workload.ParseTrace(f)
 		f.Close()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "error: %v\n", err)
-			os.Exit(1)
+			return fail(err)
 		}
 		gen = tf
 		nClients = tf.Clients()
@@ -69,9 +96,63 @@ func main() {
 	}
 	faults, err := buildFaults(*crashes, *recovers, *mtbf, *mttr, *mdsN, *ticks, *seed)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "error: %v\n", err)
-		os.Exit(1)
+		return fail(err)
 	}
+
+	// Observability wiring. The bus is nil unless a sink was requested,
+	// so an untraced run pays only nil-checks at the emit sites.
+	var (
+		bus     *obs.Bus
+		sinks   []obs.Sink
+		jsonl   *obs.JSONL
+		summary *obs.Summary
+	)
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return fail(err)
+		}
+		jsonl = obs.NewJSONLFile(f)
+		sinks = append(sinks, jsonl)
+	}
+	if *traceSum {
+		summary = obs.NewSummary()
+		sinks = append(sinks, summary)
+	}
+	if len(sinks) > 0 {
+		types, err := obs.ParseTypes(*traceEvs)
+		if err != nil {
+			return fail(err)
+		}
+		bus = obs.NewBus(sinks...)
+		bus.Allow(types...)
+	} else if *traceEvs != "" {
+		return fail(fmt.Errorf("-trace-events needs -trace-out or -trace-summary"))
+	}
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(stderr, "pprof server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(stdout, "pprof server listening on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
 	c, err := cluster.New(cluster.Config{
 		MDS:           *mdsN,
 		Capacity:      *capacity,
@@ -83,33 +164,33 @@ func main() {
 		Workload:      gen,
 		RecoveryTicks: *recoveryT,
 		Faults:        faults,
+		Bus:           bus,
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "error: %v\n", err)
-		os.Exit(1)
+		return fail(err)
 	}
 	if *pins != "" {
 		for _, spec := range strings.Split(*pins, ",") {
 			parts := strings.SplitN(strings.TrimSpace(spec), "=", 2)
 			if len(parts) != 2 {
-				fmt.Fprintf(os.Stderr, "error: bad pin %q (want path=rank)\n", spec)
-				os.Exit(1)
+				return fail(fmt.Errorf("bad pin %q (want path=rank)", spec))
 			}
 			rank, err := strconv.Atoi(parts[1])
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "error: bad pin rank %q\n", parts[1])
-				os.Exit(1)
+				return fail(fmt.Errorf("bad pin rank %q", parts[1]))
 			}
 			if err := c.PinPath(parts[0], rank); err != nil {
-				fmt.Fprintf(os.Stderr, "error: %v\n", err)
-				os.Exit(1)
+				return fail(err)
 			}
 		}
 	}
 	end := c.RunUntilDone(*ticks)
 	rec := c.Metrics()
+	if err := bus.Close(); err != nil {
+		return fail(err)
+	}
 
-	fmt.Printf("workload=%s balancer=%s mds=%d clients=%d ended at tick %d (all done: %v)\n\n",
+	fmt.Fprintf(stdout, "workload=%s balancer=%s mds=%d clients=%d ended at tick %d (all done: %v)\n\n",
 		name, *bal, *mdsN, nClients, end, c.Done())
 	tbl := &metrics.Table{Header: []string{"metric", "value"}}
 	tbl.Add("mean imbalance factor", fmt.Sprintf("%.3f", rec.MeanIF()))
@@ -138,11 +219,14 @@ func main() {
 			tbl.Add("still down at end", fmt.Sprint(down))
 		}
 	}
-	fmt.Print(tbl.String())
+	if jsonl != nil {
+		tbl.Add("trace events written", fmt.Sprintf("%d", jsonl.Count()))
+	}
+	fmt.Fprint(stdout, tbl.String())
 
-	fmt.Println("\nimbalance factor over time:")
-	fmt.Printf("  %s  %s\n", metrics.Sparkline(&rec.IF, 40), metrics.FormatSeries(&rec.IF, 8))
-	fmt.Println("per-MDS IOPS over time (shared scale):")
+	fmt.Fprintln(stdout, "\nimbalance factor over time:")
+	fmt.Fprintf(stdout, "  %s  %s\n", metrics.Sparkline(&rec.IF, 40), metrics.FormatSeries(&rec.IF, 8))
+	fmt.Fprintln(stdout, "per-MDS IOPS over time (shared scale):")
 	maxIOPS := 0.0
 	for _, s := range rec.PerMDS {
 		if m := s.MaxValue(); m > maxIOPS {
@@ -150,26 +234,47 @@ func main() {
 		}
 	}
 	for i, s := range rec.PerMDS {
-		fmt.Printf("  MDS-%d %s  %s\n", i+1,
+		fmt.Fprintf(stdout, "  MDS-%d %s  %s\n", i+1,
 			metrics.SparklineScaled(s, 40, maxIOPS), metrics.FormatSeries(s, 8))
 	}
-	fmt.Println("aggregate IOPS over time:")
-	fmt.Printf("  %s\n", metrics.Sparkline(&rec.Agg, 40))
+	fmt.Fprintln(stdout, "aggregate IOPS over time:")
+	fmt.Fprintf(stdout, "  %s\n", metrics.Sparkline(&rec.Agg, 40))
 
+	if summary != nil {
+		fmt.Fprintln(stdout, "\ntrace event counts:")
+		fmt.Fprint(stdout, summary.String())
+	}
+	if *traceOut != "" {
+		fmt.Fprintf(stdout, "\ntrace written to %s\n", *traceOut)
+	}
 	if *csvPath != "" {
 		if err := writeCSV(*csvPath, rec.WriteCSV); err != nil {
-			fmt.Fprintf(os.Stderr, "error: %v\n", err)
-			os.Exit(1)
+			return fail(err)
 		}
-		fmt.Printf("\nper-tick series written to %s\n", *csvPath)
+		fmt.Fprintf(stdout, "\nper-tick series written to %s\n", *csvPath)
 	}
 	if *ifCSV != "" {
 		if err := writeCSV(*ifCSV, rec.WriteEpochCSV); err != nil {
-			fmt.Fprintf(os.Stderr, "error: %v\n", err)
-			os.Exit(1)
+			return fail(err)
 		}
-		fmt.Printf("imbalance series written to %s\n", *ifCSV)
+		fmt.Fprintf(stdout, "imbalance series written to %s\n", *ifCSV)
 	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return fail(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		if err := f.Close(); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "heap profile written to %s\n", *memProfile)
+	}
+	return 0
 }
 
 // buildFaults combines the scripted -crash/-recover specs with the

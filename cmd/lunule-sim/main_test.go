@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden file from the current output")
+
+// TestGoldenOutput locks down the full lunule-sim report — summary
+// table (including the fault rows and the trace-count row), sparkline
+// figures, and trace summary — for a small seeded failover run. The
+// simulator is deterministic, so any diff here is a behavior change,
+// not noise. Regenerate intentionally with:
+//
+//	go test ./cmd/lunule-sim -run TestGolden -update
+func TestGoldenOutput(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "trace.jsonl")
+	args := []string{
+		"-workload", "zipf", "-mds", "3", "-clients", "6",
+		"-rate", "5", "-scale", "0.02", "-seed", "7",
+		"-crash", "30:hot", "-recover", "90:0", "-maxticks", "600",
+		"-trace-out", tracePath, "-trace-summary",
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("run exited %d, stderr:\n%s", code, stderr.String())
+	}
+	if stderr.Len() != 0 {
+		t.Fatalf("unexpected stderr:\n%s", stderr.String())
+	}
+	// The trace lands in a per-run temp dir; normalize the path so the
+	// golden file is stable.
+	got := strings.ReplaceAll(stdout.String(), tracePath, "TRACE.jsonl")
+
+	golden := filepath.Join("testdata", "golden.txt")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("output differs from %s (rerun with -update if intended)\n--- got ---\n%s--- want ---\n%s",
+			golden, got, want)
+	}
+
+	// The trace itself must exist and include the failover lifecycle.
+	trace, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range []string{`"type":"mds_crash"`, `"type":"orphan_takeover"`, `"type":"mds_recover"`, `"type":"backoff_enter"`} {
+		if !strings.Contains(string(trace), ev) {
+			t.Fatalf("trace missing %s", ev)
+		}
+	}
+}
+
+// TestBadFlagsFail covers the error seam: an unknown event type must
+// exit non-zero with a diagnostic, not panic or silently ignore.
+func TestBadFlagsFail(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-trace-events", "bogus"}, &stdout, &stderr); code == 0 {
+		t.Fatal("bogus -trace-events without a sink must fail")
+	}
+	tracePath := filepath.Join(t.TempDir(), "t.jsonl")
+	stderr.Reset()
+	if code := run([]string{"-trace-out", tracePath, "-trace-events", "bogus"}, &stdout, &stderr); code == 0 {
+		t.Fatal("unknown event type must fail")
+	}
+	if !strings.Contains(stderr.String(), "bogus") {
+		t.Fatalf("diagnostic should name the bad type, got: %s", stderr.String())
+	}
+}

@@ -2,6 +2,7 @@ package balancer
 
 import (
 	"repro/internal/namespace"
+	"repro/internal/obs"
 )
 
 // GreedySpill is the GIGA+-derived policy the paper runs through the
@@ -16,6 +17,8 @@ type GreedySpill struct {
 	IdleThreshold float64
 	// CandidateLimit bounds candidate enumeration.
 	CandidateLimit int
+
+	bus *obs.Bus
 }
 
 // NewGreedySpill returns the policy with the Mantle defaults.
@@ -25,6 +28,9 @@ func NewGreedySpill() *GreedySpill {
 
 // Name implements Balancer.
 func (b *GreedySpill) Name() string { return "GreedySpill" }
+
+// SetBus implements obs.BusCarrier.
+func (b *GreedySpill) SetBus(bus *obs.Bus) { b.bus = bus }
 
 // Rebalance implements Balancer.
 func (b *GreedySpill) Rebalance(v View) {
@@ -52,6 +58,12 @@ func (b *GreedySpill) Rebalance(v View) {
 		}
 		if loads[i] <= b.IdleThreshold || loads[neighbour] > b.IdleThreshold {
 			continue
+		}
+		if b.bus.Enabled(obs.EvTrigger) {
+			b.bus.Emit(obs.Event{Tick: v.Tick(), Type: obs.EvTrigger, Fields: obs.F{
+				"balancer": b.Name(), "from": i, "to": int(neighbour),
+				"load": loads[i], "fired": true,
+			}})
 		}
 		// Ship half of my load to the idle neighbour.
 		for _, c := range HeatSelect(v, ex, 0.5, b.CandidateLimit) {

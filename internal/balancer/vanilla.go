@@ -2,6 +2,7 @@ package balancer
 
 import (
 	"repro/internal/namespace"
+	"repro/internal/obs"
 )
 
 // Vanilla approximates the CephFS built-in metadata load balancer and
@@ -22,6 +23,8 @@ type Vanilla struct {
 	MinOffload float64
 	// CandidateLimit bounds candidate enumeration.
 	CandidateLimit int
+
+	bus *obs.Bus
 }
 
 // NewVanilla returns the CephFS built-in policy with default knobs.
@@ -31,6 +34,9 @@ func NewVanilla() *Vanilla {
 
 // Name implements Balancer.
 func (b *Vanilla) Name() string { return "CephFS-Vanilla" }
+
+// SetBus implements obs.BusCarrier.
+func (b *Vanilla) SetBus(bus *obs.Bus) { b.bus = bus }
 
 // Rebalance implements Balancer.
 func (b *Vanilla) Rebalance(v View) {
@@ -47,6 +53,18 @@ func (b *Vanilla) Rebalance(v View) {
 		avg += loads[id]
 	}
 	avg /= float64(len(live))
+	exporting := 0
+	for _, id := range live {
+		if loads[id] > avg*(1+b.MinOffload) {
+			exporting++
+		}
+	}
+	if b.bus.Enabled(obs.EvTrigger) {
+		b.bus.Emit(obs.Event{Tick: v.Tick(), Type: obs.EvTrigger, Fields: obs.F{
+			"balancer": b.Name(), "avg": avg, "live": len(live),
+			"fired": exporting > 0 && avg > 0,
+		}})
+	}
 	if avg <= 0 {
 		return
 	}

@@ -215,6 +215,15 @@ func (c *Client) RetainBackoff(tick int64) {
 // tick (false only while backing off after down-rank failures).
 func (c *Client) RetryReady(tick int64) bool { return tick >= c.retryAt }
 
+// ClearBackoff cancels any pending retry backoff immediately. The
+// cluster calls it when a crashed rank recovers: the failures that
+// drove the backoff are gone, so making the client wait out the
+// residual window would only extend the outage it observes.
+func (c *Client) ClearBackoff() {
+	c.backoff = 0
+	c.retryAt = 0
+}
+
 // Retries returns how many op attempts failed into backoff.
 func (c *Client) Retries() int64 { return c.retries }
 

@@ -192,3 +192,28 @@ func TestCacheUpdateExistingKey(t *testing.T) {
 		t.Fatal("update must overwrite the cached authority")
 	}
 }
+
+func TestClearBackoffCancelsRetryWait(t *testing.T) {
+	ops := []workload.Op{{Kind: workload.OpLookup}}
+	c := New(0, specOf(ops, 0, 1), 1)
+	c.AccrueCredit()
+	if _, ok := c.NextOp(10); !ok {
+		t.Fatal("op expected")
+	}
+	// Repeated down-rank failures: backoff grows past the recovery
+	// point, so without clearing the client would idle long after the
+	// rank is back.
+	for i := 0; i < 5; i++ {
+		c.RetainBackoff(10)
+	}
+	if c.Backoff() != 16 || c.RetryReady(11) {
+		t.Fatalf("backoff not engaged: backoff=%d", c.Backoff())
+	}
+	c.ClearBackoff()
+	if c.Backoff() != 0 {
+		t.Fatalf("backoff not cleared: %d", c.Backoff())
+	}
+	if !c.RetryReady(11) {
+		t.Fatal("client must be ready to retry immediately after ClearBackoff")
+	}
+}

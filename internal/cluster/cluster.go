@@ -18,6 +18,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/msg"
 	"repro/internal/namespace"
+	"repro/internal/obs"
 	"repro/internal/osd"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -74,6 +75,12 @@ type Config struct {
 	RecoveryTicks int
 	// Faults optionally scripts MDS crash/recover events for the run.
 	Faults *fault.Schedule
+	// Bus optionally receives structured trace events for the run
+	// (epoch snapshots, migration lifecycle, faults, backoff
+	// transitions). nil disables tracing at zero cost; tracing never
+	// touches the RNG or tick ordering, so the same seed produces the
+	// same run with tracing on or off.
+	Bus *obs.Bus
 }
 
 func (c *Config) defaults() {
@@ -137,6 +144,7 @@ type Cluster struct {
 	ledger   *msg.Ledger
 	rand     *rng.Source
 	rec      *metrics.Recorder
+	bus      *obs.Bus
 
 	tick     int64
 	forwards int64
@@ -184,6 +192,7 @@ func New(cfg Config) (*Cluster, error) {
 		ledger:    msg.NewLedger(cfg.MDS),
 		rand:      src.Fork(2),
 		rec:       metrics.NewRecorder(cfg.MDS),
+		bus:       cfg.Bus,
 		orphaned:  make(map[namespace.MDSID]bool),
 		crashTick: make(map[namespace.MDSID]int64),
 	}
@@ -197,6 +206,10 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	cl.migrator = mds.NewMigrator(part, cfg.MigrationRate, cfg.MaxActiveExports, cfg.QueueTTLTicks)
 	cl.migrator.MinTicks = cfg.ExportLatencyTicks
+	cl.migrator.Bus = cfg.Bus
+	if bc, ok := cfg.Balancer.(obs.BusCarrier); ok {
+		bc.SetBus(cfg.Bus)
+	}
 	cl.migrator.OnComplete(func(t *mds.ExportTask) {
 		if int(t.From) < len(cl.servers) {
 			cl.servers[t.From].DropSubtreeStats(t.Key)
@@ -316,13 +329,17 @@ func (c *Cluster) CrashMDS(rank int) bool {
 	}
 	id := namespace.MDSID(rank)
 	c.servers[rank].Crash()
-	c.migrator.AbortRank(id)
+	aborted := c.migrator.AbortRank(id)
 	c.orphaned[id] = true
 	crashedAt := c.tick
 	c.crashTick[id] = crashedAt
 	c.events.Schedule(crashedAt+int64(c.cfg.RecoveryTicks), func() {
 		c.reassignOrphans(id, crashedAt)
 	})
+	if c.bus.Enabled(obs.EvCrash) {
+		c.bus.Emit(obs.Event{Tick: crashedAt, Type: obs.EvCrash,
+			Fields: obs.F{"rank": rank, "live": live - 1, "aborted": aborted}})
+	}
 	return true
 }
 
@@ -352,8 +369,11 @@ func (c *Cluster) CrashHottest() int {
 // RecoverMDS brings a crashed rank back up immediately. Its heat and
 // trace statistics are invalidated (see mds.Server.Rejoin); if its
 // subtrees had not yet been taken over, the pending takeover is
-// cancelled and they are simply valid again. It returns false for an
-// invalid or already-up rank.
+// cancelled and they are simply valid again. Clients backing off
+// against the down rank have their residual backoff cleared — the
+// rank is serving again, so waiting out the rest of an exponential
+// backoff window would just extend the outage they observe. It
+// returns false for an invalid or already-up rank.
 func (c *Cluster) RecoverMDS(rank int) bool {
 	if rank < 0 || rank >= len(c.servers) || c.servers[rank].Up() {
 		return false
@@ -362,6 +382,18 @@ func (c *Cluster) RecoverMDS(rank int) bool {
 	c.servers[rank].Rejoin()
 	delete(c.orphaned, id)
 	delete(c.crashTick, id)
+	for _, cl := range c.clients {
+		if cl.Backoff() > 0 {
+			cl.ClearBackoff()
+			if c.bus.Enabled(obs.EvBackoffExit) {
+				c.bus.Emit(obs.Event{Tick: c.tick, Type: obs.EvBackoffExit,
+					Fields: obs.F{"client": cl.ID, "reason": "recovery"}})
+			}
+		}
+	}
+	if c.bus.Enabled(obs.EvRecover) {
+		c.bus.Emit(obs.Event{Tick: c.tick, Type: obs.EvRecover, Fields: obs.F{"rank": rank}})
+	}
 	return true
 }
 
@@ -462,6 +494,13 @@ func (c *Cluster) reassignOrphans(dead namespace.MDSID, crashedAt int64) {
 		ReassignTick: c.tick,
 		Entries:      len(entries),
 	})
+	if c.bus.Enabled(obs.EvTakeover) {
+		c.bus.Emit(obs.Event{Tick: c.tick, Type: obs.EvTakeover, Fields: obs.F{
+			"rank": int(dead), "entries": len(entries),
+			"crash_tick": crashedAt, "waited": c.tick - crashedAt,
+			"survivors": len(live),
+		}})
+	}
 	delete(c.orphaned, dead)
 	delete(c.crashTick, dead)
 }
@@ -534,10 +573,20 @@ func (c *Cluster) stepClient(cl *client.Client, tick, epoch int64) {
 			// with capped exponential backoff instead of spinning.
 			c.stalledDown++
 			cl.RetainBackoff(tick)
+			if c.bus.Enabled(obs.EvBackoffEnter) {
+				c.bus.Emit(obs.Event{Tick: tick, Type: obs.EvBackoffEnter,
+					Fields: obs.F{"client": cl.ID, "backoff": cl.Backoff(), "retry_at": tick + cl.Backoff()}})
+			}
 			return
 		case execStall:
 			cl.Retain()
 			return
+		}
+		if cl.Backoff() > 0 && c.bus.Enabled(obs.EvBackoffExit) {
+			// The op that was backing off finally served: the client
+			// leaves the backoff regime.
+			c.bus.Emit(obs.Event{Tick: tick, Type: obs.EvBackoffExit,
+				Fields: obs.F{"client": cl.ID, "reason": "served"}})
 		}
 		c.rec.AddLatency(cl.CompleteOp(tick))
 		if c.cfg.DataPath && op.DataSize > 0 {
@@ -639,6 +688,22 @@ func (c *Cluster) endEpoch(tick, epoch int64) {
 	}
 	res := core.IFModel{}.Compute(liveLoads, float64(c.cfg.Capacity))
 	c.rec.SampleEpoch(tick, res.IF, res.CoV)
+	if c.bus.Enabled(obs.EvEpoch) {
+		c.bus.Emit(obs.Event{Tick: tick, Type: obs.EvEpoch, Fields: obs.F{
+			"epoch": epoch, "if": res.IF, "cov": res.CoV, "live": len(liveLoads),
+		}})
+	}
+	if c.bus.Enabled(obs.EvRank) {
+		for i, s := range c.servers {
+			queued, active := c.migrator.TasksFor(namespace.MDSID(i))
+			c.bus.Emit(obs.Event{Tick: tick, Type: obs.EvRank, Fields: obs.F{
+				"rank": i, "epoch": epoch, "load": s.CurrentLoad(),
+				"ops": s.OpsTotal(), "stalls": s.Stalls(),
+				"heat": s.HeatEntries(), "queued": queued, "active": active,
+				"up": s.Up(),
+			}})
+		}
+	}
 	c.cfg.Balancer.Rebalance(&view{c: c, epoch: epoch})
 }
 
@@ -672,9 +737,9 @@ func (v *view) Server(id namespace.MDSID) *mds.Server { return v.c.servers[id] }
 func (v *view) Up(id namespace.MDSID) bool {
 	return int(id) < len(v.c.servers) && v.c.servers[id].Up()
 }
-func (v *view) Partition() *namespace.Partition       { return v.c.part }
-func (v *view) Migrator() *mds.Migrator               { return v.c.migrator }
-func (v *view) Capacity() float64                     { return float64(v.c.cfg.Capacity) }
-func (v *view) HeatDecay() float64                    { return v.c.cfg.HeatDecay }
-func (v *view) Rand() *rng.Source                     { return v.c.rand }
-func (v *view) Ledger() *msg.Ledger                   { return v.c.ledger }
+func (v *view) Partition() *namespace.Partition { return v.c.part }
+func (v *view) Migrator() *mds.Migrator         { return v.c.migrator }
+func (v *view) Capacity() float64               { return float64(v.c.cfg.Capacity) }
+func (v *view) HeatDecay() float64              { return v.c.cfg.HeatDecay }
+func (v *view) Rand() *rng.Source               { return v.c.rand }
+func (v *view) Ledger() *msg.Ledger             { return v.c.ledger }

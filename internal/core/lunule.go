@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/balancer"
 	"repro/internal/namespace"
+	"repro/internal/obs"
 )
 
 // Config parameterizes the Lunule balancer.
@@ -64,12 +65,51 @@ func DefaultConfig() Config {
 	}
 }
 
+// Normalize returns cfg with every zero-valued field replaced by its
+// DefaultConfig value. It is the explicit opt-in for the old "zero
+// means unset" construction style; New itself takes the config
+// verbatim, so a deliberate zero (Tolerance 0, Threshold 0,
+// SiblingProb 0 — exactly what the ablation flags need to express)
+// reaches the balancer unchanged.
+func (c Config) Normalize() Config {
+	def := DefaultConfig()
+	if c.Threshold == 0 {
+		c.Threshold = def.Threshold
+	}
+	if c.Smoothness == 0 {
+		c.Smoothness = def.Smoothness
+	}
+	if c.L == 0 {
+		c.L = def.L
+	}
+	if c.CapFraction == 0 {
+		c.CapFraction = def.CapFraction
+	}
+	if c.HistoryEpochs == 0 {
+		c.HistoryEpochs = def.HistoryEpochs
+	}
+	if c.Windows == 0 {
+		c.Windows = def.Windows
+	}
+	if c.SiblingProb == 0 {
+		c.SiblingProb = def.SiblingProb
+	}
+	if c.Tolerance == 0 {
+		c.Tolerance = def.Tolerance
+	}
+	if c.CandidateLimit == 0 {
+		c.CandidateLimit = def.CandidateLimit
+	}
+	return c
+}
+
 // Lunule is the paper's balancer: IF-model-driven triggering,
 // Algorithm 1 role/amount planning, and workload-aware subtree
 // selection.
 type Lunule struct {
 	cfg      Config
 	selector *Selector
+	bus      *obs.Bus
 
 	// lastResult is the most recent IF evaluation, exposed for
 	// experiments and debugging.
@@ -78,42 +118,28 @@ type Lunule struct {
 	rebalances int
 }
 
-// New creates a Lunule balancer. Zero-valued fields of cfg are filled
-// from DefaultConfig.
+// New creates a Lunule balancer from cfg taken verbatim: a zero field
+// means zero, not "use the default". Start from DefaultConfig (as the
+// experiments do) or call NewFromDefaults to get the paper's values
+// for anything left unset.
 func New(cfg Config) *Lunule {
-	def := DefaultConfig()
-	if cfg.Threshold == 0 {
-		cfg.Threshold = def.Threshold
-	}
-	if cfg.Smoothness == 0 {
-		cfg.Smoothness = def.Smoothness
-	}
-	if cfg.L == 0 {
-		cfg.L = def.L
-	}
-	if cfg.CapFraction == 0 {
-		cfg.CapFraction = def.CapFraction
-	}
-	if cfg.HistoryEpochs == 0 {
-		cfg.HistoryEpochs = def.HistoryEpochs
-	}
-	if cfg.Windows == 0 {
-		cfg.Windows = def.Windows
-	}
-	if cfg.SiblingProb == 0 {
-		cfg.SiblingProb = def.SiblingProb
-	}
-	if cfg.Tolerance == 0 {
-		cfg.Tolerance = def.Tolerance
-	}
-	if cfg.CandidateLimit == 0 {
-		cfg.CandidateLimit = def.CandidateLimit
-	}
 	sel := NewSelector()
 	sel.Tolerance = cfg.Tolerance
 	sel.CandidateLimit = cfg.CandidateLimit
 	return &Lunule{cfg: cfg, selector: sel}
 }
+
+// NewFromDefaults creates a Lunule balancer treating zero-valued cfg
+// fields as unset and filling them from DefaultConfig — the historical
+// behaviour of New, kept for callers that build configs sparsely.
+func NewFromDefaults(cfg Config) *Lunule {
+	return New(cfg.Normalize())
+}
+
+// SetBus implements obs.BusCarrier: trigger decisions (with their
+// IF/U/CoV inputs), plan pairs, and subtree picks are traced through
+// the given bus.
+func (b *Lunule) SetBus(bus *obs.Bus) { b.bus = bus }
 
 // NewDefault creates Lunule with the paper's defaults.
 func NewDefault() *Lunule {
@@ -204,8 +230,16 @@ func (b *Lunule) Rebalance(v balancer.View) {
 		b.lastResult.U = 1
 		b.lastResult.IF = b.lastResult.NormCoV
 	}
+	fired := b.lastResult.IF >= b.cfg.Threshold
+	if b.bus.Enabled(obs.EvTrigger) {
+		b.bus.Emit(obs.Event{Tick: v.Tick(), Type: obs.EvTrigger, Fields: obs.F{
+			"balancer": b.Name(), "if": b.lastResult.IF, "cov": b.lastResult.CoV,
+			"norm_cov": b.lastResult.NormCoV, "u": b.lastResult.U,
+			"threshold": b.cfg.Threshold, "fired": fired, "live": len(live),
+		}})
+	}
 
-	if b.lastResult.IF < b.cfg.Threshold {
+	if !fired {
 		// Benign (or no) imbalance: report stats, do nothing.
 		v.Ledger().EpochLunule(n, 0, nil, 0)
 		return
@@ -226,6 +260,13 @@ func (b *Lunule) Rebalance(v balancer.View) {
 		plan[i].To = live[plan[i].To]
 	}
 	b.rebalances++
+	if b.bus.Enabled(obs.EvPlan) {
+		for _, d := range plan {
+			b.bus.Emit(obs.Event{Tick: v.Tick(), Type: obs.EvPlan, Fields: obs.F{
+				"from": int(d.From), "to": int(d.To), "amount": d.Amount,
+			}})
+		}
+	}
 
 	// Group decisions per exporter for the decision messages.
 	perExporter := make(map[namespace.MDSID][]Decision)
@@ -264,6 +305,7 @@ func (b *Lunule) Rebalance(v balancer.View) {
 func (b *Lunule) execute(v balancer.View, an *Analyzer, d Decision) {
 	if b.cfg.WorkloadAware {
 		for _, c := range b.selector.Select(v, an, d.From, d.Amount) {
+			b.tracePick(v, c, d)
 			balancer.SubmitCandidate(v, c, d.From, d.To)
 		}
 		return
@@ -275,6 +317,23 @@ func (b *Lunule) execute(v balancer.View, an *Analyzer, d Decision) {
 		return
 	}
 	for _, c := range balancer.HeatSelect(v, d.From, d.Amount/load, b.cfg.CandidateLimit) {
+		b.tracePick(v, c, d)
 		balancer.SubmitCandidate(v, c, d.From, d.To)
 	}
+}
+
+// tracePick emits one selector pick: the subtree the policy chose to
+// move for the given plan decision.
+func (b *Lunule) tracePick(v balancer.View, c balancer.Candidate, d Decision) {
+	if !b.bus.Enabled(obs.EvSelect) {
+		return
+	}
+	f := obs.F{
+		"from": int(d.From), "to": int(d.To),
+		"dir": uint64(c.RootDir()), "load": c.Load, "entry": c.IsEntry,
+	}
+	if c.IsEntry {
+		f["frag"] = c.Key.Frag.String()
+	}
+	b.bus.Emit(obs.Event{Tick: v.Tick(), Type: obs.EvSelect, Fields: f})
 }

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/namespace"
+	"repro/internal/obs"
 )
 
 // TaskState is the lifecycle state of an export task.
@@ -38,6 +39,10 @@ type ExportTask struct {
 	DoneTick    int64
 	Inodes      int // counted at activation
 	PlannedLoad float64
+
+	// frozeLogged dedups the freeze trace event: a task enters its
+	// commit window once, but the frozen set is rebuilt every tick.
+	frozeLogged bool
 }
 
 // Migrator runs subtree migrations with the costs the paper calls out:
@@ -65,6 +70,14 @@ type Migrator struct {
 	// check at activation are dropped, never activated — a migration
 	// must not ship a subtree to a dead or nonexistent rank.
 	ValidRank func(namespace.MDSID) bool
+	// Bus, when set, receives migration lifecycle trace events. A nil
+	// bus is the zero-cost disabled state.
+	Bus *obs.Bus
+
+	// now is the tick of the most recent Tick call, stamped onto
+	// events raised outside the tick loop (AbortRank runs from fault
+	// handlers that fire before the migrator's turn in the tick).
+	now int64
 
 	queued []*ExportTask
 	active []*ExportTask
@@ -117,7 +130,25 @@ func (m *Migrator) Submit(key namespace.FragKey, from, to namespace.MDSID, plann
 	}
 	m.queued = append(m.queued, t)
 	m.submitted++
+	if m.Bus.Enabled(obs.EvMigrationPlanned) {
+		m.Bus.Emit(obs.Event{Tick: tick, Type: obs.EvMigrationPlanned,
+			Fields: taskFields(t, obs.F{"planned_load": plannedLoad})})
+	}
 	return t
+}
+
+// taskFields builds the shared payload of a migration event.
+func taskFields(t *ExportTask, extra obs.F) obs.F {
+	f := obs.F{
+		"dir":  uint64(t.Key.Dir),
+		"frag": t.Key.Frag.String(),
+		"from": int(t.From),
+		"to":   int(t.To),
+	}
+	for k, v := range extra {
+		f[k] = v
+	}
+	return f
 }
 
 // IsFrozen reports whether the subtree entry is frozen by an in-flight
@@ -129,11 +160,12 @@ func (m *Migrator) IsFrozen(key namespace.FragKey) bool { return m.frozen[key] }
 // queued tasks up to the per-exporter concurrency bound, and freezes
 // subtrees whose exports enter the commit phase.
 func (m *Migrator) Tick(tick int64) {
+	m.now = tick
 	// Complete finished transfers.
 	var stillActive []*ExportTask
 	for _, t := range m.active {
 		if tick >= t.DoneTick {
-			m.complete(t)
+			m.complete(t, tick)
 		} else {
 			stillActive = append(stillActive, t)
 		}
@@ -147,6 +179,7 @@ func (m *Migrator) Tick(tick int64) {
 	for _, t := range m.active {
 		if t.DoneTick-tick <= m.FreezeTicks {
 			m.frozen[t.Key] = true
+			m.noteFrozen(t, tick)
 		}
 	}
 
@@ -158,18 +191,18 @@ func (m *Migrator) Tick(tick int64) {
 	var remaining []*ExportTask
 	for _, t := range m.queued {
 		if m.QueueTTL > 0 && tick-t.SubmitTick >= m.QueueTTL {
-			m.drop(t)
+			m.drop(t, tick, "ttl")
 			continue
 		}
 		e, ok := m.part.EntryAt(t.Key)
 		if !ok || e.Auth != t.From || t.From == t.To {
-			m.drop(t)
+			m.drop(t, tick, "stale")
 			continue
 		}
 		if !m.rankValid(t.To) || !m.rankValid(t.From) {
 			// Importer (or exporter) is dead or out of range: the task
 			// must never activate against an invalid endpoint.
-			m.drop(t)
+			m.drop(t, tick, "endpoint_down")
 			continue
 		}
 		if activePer[t.From] >= m.MaxActivePerExporter || m.frozen[t.Key] {
@@ -194,26 +227,52 @@ func (m *Migrator) activate(t *ExportTask, tick int64) {
 		dur = 1
 	}
 	t.DoneTick = tick + dur
+	if m.Bus.Enabled(obs.EvMigrationActivated) {
+		m.Bus.Emit(obs.Event{Tick: tick, Type: obs.EvMigrationActivated,
+			Fields: taskFields(t, obs.F{"inodes": t.Inodes, "done_tick": t.DoneTick})})
+	}
 	if t.DoneTick-tick <= m.FreezeTicks {
 		m.frozen[t.Key] = true
+		m.noteFrozen(t, tick)
 	}
 	m.active = append(m.active, t)
 }
 
-func (m *Migrator) complete(t *ExportTask) {
+// noteFrozen emits the freeze event once per task, on the tick its
+// commit window opens.
+func (m *Migrator) noteFrozen(t *ExportTask, tick int64) {
+	if t.frozeLogged {
+		return
+	}
+	t.frozeLogged = true
+	if m.Bus.Enabled(obs.EvMigrationFrozen) {
+		m.Bus.Emit(obs.Event{Tick: tick, Type: obs.EvMigrationFrozen,
+			Fields: taskFields(t, obs.F{"done_tick": t.DoneTick})})
+	}
+}
+
+func (m *Migrator) complete(t *ExportTask, tick int64) {
 	t.State = TaskDone
 	delete(m.frozen, t.Key)
 	m.part.SetAuth(t.Key, t.To)
 	m.migratedInodes += int64(t.Inodes)
 	m.completedTasks++
+	if m.Bus.Enabled(obs.EvMigrationCompleted) {
+		m.Bus.Emit(obs.Event{Tick: tick, Type: obs.EvMigrationCompleted,
+			Fields: taskFields(t, obs.F{"inodes": t.Inodes, "ticks": tick - t.StartTick})})
+	}
 	if m.onComplete != nil {
 		m.onComplete(t)
 	}
 }
 
-func (m *Migrator) drop(t *ExportTask) {
+func (m *Migrator) drop(t *ExportTask, tick int64, reason string) {
 	t.State = TaskDropped
 	m.droppedTasks++
+	if m.Bus.Enabled(obs.EvMigrationDropped) {
+		m.Bus.Emit(obs.Event{Tick: tick, Type: obs.EvMigrationDropped,
+			Fields: taskFields(t, obs.F{"reason": reason})})
+	}
 }
 
 // rankValid applies the ValidRank hook plus the always-on sanity check
@@ -253,6 +312,10 @@ func (m *Migrator) AbortRank(dead namespace.MDSID) int {
 		}
 		m.abortedTasks++
 		aborted++
+		if m.Bus.Enabled(obs.EvMigrationAborted) {
+			m.Bus.Emit(obs.Event{Tick: m.now, Type: obs.EvMigrationAborted,
+				Fields: taskFields(t, obs.F{"dead": int(dead), "in_flight": true})})
+		}
 	}
 	m.active = stillActive
 
@@ -265,6 +328,10 @@ func (m *Migrator) AbortRank(dead namespace.MDSID) int {
 		t.State = TaskAborted
 		m.abortedTasks++
 		aborted++
+		if m.Bus.Enabled(obs.EvMigrationAborted) {
+			m.Bus.Emit(obs.Event{Tick: m.now, Type: obs.EvMigrationAborted,
+				Fields: taskFields(t, obs.F{"dead": int(dead), "in_flight": false})})
+		}
 	}
 	m.queued = stillQueued
 	return aborted
@@ -287,6 +354,23 @@ func (m *Migrator) SubmittedTasks() int64 { return m.submitted }
 
 // QueuedTasks returns the current queue length (not yet active).
 func (m *Migrator) QueuedTasks() int { return len(m.queued) }
+
+// TasksFor returns how many exports the given rank currently has
+// queued and in flight as the exporter — the queue depth of the
+// per-rank trace timeline.
+func (m *Migrator) TasksFor(rank namespace.MDSID) (queued, active int) {
+	for _, t := range m.queued {
+		if t.From == rank {
+			queued++
+		}
+	}
+	for _, t := range m.active {
+		if t.From == rank {
+			active++
+		}
+	}
+	return queued, active
+}
 
 // ActiveTasks returns the number of in-flight exports.
 func (m *Migrator) ActiveTasks() int { return len(m.active) }

@@ -207,6 +207,11 @@ func (s *Server) HeatOfKey(key namespace.FragKey) float64 { return s.heatByKey[k
 // HeatOfDir returns the decayed popularity accumulated at a directory.
 func (s *Server) HeatOfDir(ino namespace.Ino) float64 { return s.heatByDir[ino] }
 
+// HeatEntries returns how many subtree entries currently carry
+// non-negligible heat — the heat-table size of the per-rank trace
+// timeline.
+func (s *Server) HeatEntries() int { return len(s.heatByKey) }
+
 // DropSubtreeStats clears trace and heat state for a subtree that has
 // been migrated away.
 func (s *Server) DropSubtreeStats(key namespace.FragKey) {

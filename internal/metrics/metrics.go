@@ -168,26 +168,11 @@ func (r *Recorder) MeanLatency() float64 {
 }
 
 // LatencyQuantile returns the q-quantile op latency in ticks from the
-// histogram (the overflow bucket reports the cap).
+// histogram (the overflow bucket reports the cap). It uses the same
+// interpolated quantile definition as stats.Percentile, so histogram
+// quantiles agree exactly with quantiles of the raw latency sample.
 func (r *Recorder) LatencyQuantile(q float64) float64 {
-	if r.latencyN == 0 {
-		return 0
-	}
-	if q < 0 {
-		q = 0
-	}
-	if q > 1 {
-		q = 1
-	}
-	target := int64(q * float64(r.latencyN-1))
-	var seen int64
-	for i, n := range r.latency {
-		seen += n
-		if seen > target {
-			return float64(i + 1)
-		}
-	}
-	return maxLatencyBucket
+	return stats.QuantileOfCounts(r.latency[:], func(i int) float64 { return float64(i + 1) }, q)
 }
 
 // MeanIF returns the run's average imbalance factor.

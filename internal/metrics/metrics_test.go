@@ -138,6 +138,39 @@ func TestLatencyHistogram(t *testing.T) {
 	}
 }
 
+// TestLatencyQuantileMatchesStatsPercentile is the cross-check behind
+// the quantile unification: the histogram path and stats.Percentile on
+// the raw sample must agree exactly for every quantile, because both
+// now use the same interpolated definition. (The old nearest-rank
+// histogram disagreed with the interpolating Percentile for the same
+// data.)
+func TestLatencyQuantileMatchesStatsPercentile(t *testing.T) {
+	r := NewRecorder(1)
+	var raw []float64
+	// A deterministic, lumpy sample across the bucket range, including
+	// repeats and a gap — the shapes where nearest-rank and
+	// interpolation used to diverge.
+	lat, step := int64(1), int64(1)
+	for i := 0; i < 500; i++ {
+		r.AddLatency(lat)
+		raw = append(raw, float64(lat))
+		if i%7 == 0 {
+			lat += step
+			step = (step*3)%11 + 1
+		}
+		if lat > 200 {
+			lat = 1
+		}
+	}
+	for _, q := range []float64{0, 0.01, 0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1} {
+		hist := r.LatencyQuantile(q)
+		want := stats.Percentile(raw, q)
+		if hist != want {
+			t.Fatalf("q=%v: histogram %v != percentile %v", q, hist, want)
+		}
+	}
+}
+
 func TestLatencyEdges(t *testing.T) {
 	r := NewRecorder(1)
 	if r.LatencyQuantile(0.5) != 0 || r.MeanLatency() != 0 {

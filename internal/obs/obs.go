@@ -1,0 +1,231 @@
+// Package obs is the run-observability layer: a structured event bus
+// the simulator's components emit into at the points the paper's
+// figures are drawn from — epoch snapshots with the IF-model inputs,
+// per-rank load/queue/heat timelines, the full migration lifecycle
+// (planned, activated, frozen, completed, dropped, aborted), fault
+// events, and client backoff transitions. Sinks are pluggable: a JSONL
+// writer for offline analysis, an in-memory ring for tests, and a
+// per-type summary counter.
+//
+// The bus is zero-cost when disabled: every emit site guards with
+// Bus.Enabled, which is a nil-receiver-safe check, so a simulation
+// built without a bus pays one predictable branch per emit point and
+// allocates nothing. Tracing must never perturb the run — the bus
+// never touches the RNG and emits only from deterministic points, so
+// the same seed produces byte-identical metrics with tracing on or
+// off.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Type names one event kind. The set below is the schema contract for
+// the JSONL output (see EXPERIMENTS.md).
+type Type string
+
+// Event types.
+const (
+	// EvEpoch is the epoch-boundary snapshot: the IF evaluation the
+	// cluster records (fields: epoch, if, cov, live).
+	EvEpoch Type = "epoch"
+	// EvRank is the per-rank epoch snapshot (fields: rank, load, ops,
+	// stalls, heat, queued, active, up).
+	EvRank Type = "rank"
+	// EvTrigger is a balancer's per-epoch trigger decision with its
+	// inputs (fields: balancer, if, cov, norm_cov, u, threshold,
+	// fired, live).
+	EvTrigger Type = "trigger"
+	// EvPlan is one Algorithm-1 exporter->importer pair (fields: from,
+	// to, amount).
+	EvPlan Type = "plan"
+	// EvSelect is one subtree pick by the selector (fields: from, to,
+	// dir, frag, load, entry).
+	EvSelect Type = "select"
+
+	// Migration lifecycle events (fields: dir, frag, from, to, plus
+	// inodes on activation/completion and reason on drops).
+	EvMigrationPlanned   Type = "migration_planned"
+	EvMigrationActivated Type = "migration_activated"
+	EvMigrationFrozen    Type = "migration_frozen"
+	EvMigrationCompleted Type = "migration_completed"
+	EvMigrationDropped   Type = "migration_dropped"
+	EvMigrationAborted   Type = "migration_aborted"
+
+	// Fault events.
+	EvCrash    Type = "mds_crash"       // fields: rank, live, aborted
+	EvRecover  Type = "mds_recover"     // fields: rank
+	EvTakeover Type = "orphan_takeover" // fields: rank, entries, crash_tick, waited
+
+	// Client backoff transitions.
+	EvBackoffEnter Type = "backoff_enter" // fields: client, backoff, retry_at
+	EvBackoffExit  Type = "backoff_exit"  // fields: client, reason
+)
+
+// AllTypes lists every event type in a stable order.
+func AllTypes() []Type {
+	return []Type{
+		EvEpoch, EvRank, EvTrigger, EvPlan, EvSelect,
+		EvMigrationPlanned, EvMigrationActivated, EvMigrationFrozen,
+		EvMigrationCompleted, EvMigrationDropped, EvMigrationAborted,
+		EvCrash, EvRecover, EvTakeover,
+		EvBackoffEnter, EvBackoffExit,
+	}
+}
+
+// F is an event's payload: flat key -> value, where values are JSON
+// scalars (or small slices). Keys are serialized in sorted order so
+// the JSONL output is deterministic.
+type F map[string]any
+
+// Event is one structured trace record.
+type Event struct {
+	Tick   int64
+	Type   Type
+	Fields F
+}
+
+// AppendJSON appends the event's single-line JSON encoding (no
+// trailing newline) to dst: {"tick":..,"type":"..",<sorted fields>}.
+func (e Event) AppendJSON(dst []byte) []byte {
+	dst = append(dst, `{"tick":`...)
+	dst = append(dst, fmt.Sprintf("%d", e.Tick)...)
+	dst = append(dst, `,"type":`...)
+	dst = appendJSONValue(dst, string(e.Type))
+	if len(e.Fields) > 0 {
+		keys := make([]string, 0, len(e.Fields))
+		for k := range e.Fields {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			dst = append(dst, ',')
+			dst = appendJSONValue(dst, k)
+			dst = append(dst, ':')
+			dst = appendJSONValue(dst, e.Fields[k])
+		}
+	}
+	return append(dst, '}')
+}
+
+func appendJSONValue(dst []byte, v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		b, _ = json.Marshal(fmt.Sprint(v))
+	}
+	return append(dst, b...)
+}
+
+// String renders the event compactly for test failures and summaries.
+func (e Event) String() string { return string(e.AppendJSON(nil)) }
+
+// Sink consumes events. Write must not retain the Fields map past the
+// call unless it copies it (the Ring sink stores events as-is; bus
+// emitters construct a fresh map per emit, so that is safe).
+type Sink interface {
+	Write(Event)
+	Close() error
+}
+
+// Bus fans events out to its sinks, optionally filtered by type. A nil
+// *Bus is a valid, permanently-disabled bus: Enabled reports false and
+// Emit is a no-op, so components hold a *Bus unconditionally and pay
+// only a nil check when tracing is off.
+type Bus struct {
+	sinks []Sink
+	allow map[Type]bool // nil = all types pass
+}
+
+// NewBus creates a bus emitting to the given sinks (all event types
+// enabled).
+func NewBus(sinks ...Sink) *Bus { return &Bus{sinks: sinks} }
+
+// Allow restricts the bus to the given event types. Calling it with no
+// types re-enables everything.
+func (b *Bus) Allow(types ...Type) {
+	if len(types) == 0 {
+		b.allow = nil
+		return
+	}
+	b.allow = make(map[Type]bool, len(types))
+	for _, t := range types {
+		b.allow[t] = true
+	}
+}
+
+// Enabled reports whether events of type t reach any sink. It is safe
+// (and false) on a nil bus — the fast path every emit site guards
+// with.
+func (b *Bus) Enabled(t Type) bool {
+	if b == nil || len(b.sinks) == 0 {
+		return false
+	}
+	return b.allow == nil || b.allow[t]
+}
+
+// Emit delivers the event to every sink. Callers should guard with
+// Enabled to avoid building the Fields map when tracing is off;
+// Emit itself re-checks, so an unguarded call is merely wasteful,
+// never wrong.
+func (b *Bus) Emit(e Event) {
+	if !b.Enabled(e.Type) {
+		return
+	}
+	for _, s := range b.sinks {
+		s.Write(e)
+	}
+}
+
+// Close closes every sink, returning the first error.
+func (b *Bus) Close() error {
+	if b == nil {
+		return nil
+	}
+	var first error
+	for _, s := range b.sinks {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// BusCarrier is implemented by components (balancers, in particular)
+// that can emit trace events; the cluster hands them its bus at
+// construction time.
+type BusCarrier interface {
+	SetBus(*Bus)
+}
+
+// ParseTypes parses a comma-separated event-type list ("epoch,rank").
+// The empty string and "all" mean every type; unknown names are an
+// error listing the valid set.
+func ParseTypes(spec string) ([]Type, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "all" {
+		return nil, nil
+	}
+	valid := make(map[Type]bool)
+	for _, t := range AllTypes() {
+		valid[t] = true
+	}
+	var out []Type
+	for _, part := range strings.Split(spec, ",") {
+		t := Type(strings.TrimSpace(part))
+		if t == "" {
+			continue
+		}
+		if !valid[t] {
+			names := make([]string, 0, len(valid))
+			for _, v := range AllTypes() {
+				names = append(names, string(v))
+			}
+			return nil, fmt.Errorf("obs: unknown event type %q (valid: %s)", t, strings.Join(names, ", "))
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

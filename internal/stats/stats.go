@@ -145,6 +145,52 @@ func percentileSorted(sorted []float64, q float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
+// QuantileOfCounts returns the q-quantile of a sample given as bucket
+// counts — counts[i] observations of the value value(i), with the
+// values ascending in i. It uses the same
+// linear-interpolation-between-closest-ranks definition as Percentile,
+// so a histogram and the raw sample it was built from report identical
+// quantiles. It returns 0 when the counts are empty or all zero.
+func QuantileOfCounts(counts []int64, value func(int) float64, q float64) float64 {
+	var n int64
+	for _, c := range counts {
+		n += c
+	}
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	pos := q * float64(n-1)
+	lo := int64(math.Floor(pos))
+	hi := int64(math.Ceil(pos))
+	vLo := valueAtRank(counts, value, lo)
+	if lo == hi {
+		return vLo
+	}
+	vHi := valueAtRank(counts, value, hi)
+	frac := pos - float64(lo)
+	return vLo*(1-frac) + vHi*frac
+}
+
+// valueAtRank returns the value of the rank-th observation (0-based)
+// in the ascending sample the counts describe.
+func valueAtRank(counts []int64, value func(int) float64, rank int64) float64 {
+	var seen int64
+	for i, c := range counts {
+		seen += c
+		if seen > rank {
+			return value(i)
+		}
+	}
+	// Unreachable when rank < total; defensively report the top bucket.
+	return value(len(counts) - 1)
+}
+
 // CDF is an empirical cumulative distribution over a sample.
 type CDF struct {
 	sorted []float64

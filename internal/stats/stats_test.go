@@ -293,3 +293,31 @@ func TestMinMax(t *testing.T) {
 		t.Fatal("empty min/max")
 	}
 }
+
+func TestQuantileOfCountsMatchesPercentile(t *testing.T) {
+	// Bucket i holds value i+1 (the latency-histogram shape).
+	counts := []int64{5, 0, 3, 12, 0, 0, 7, 1}
+	var raw []float64
+	for i, c := range counts {
+		for j := int64(0); j < c; j++ {
+			raw = append(raw, float64(i+1))
+		}
+	}
+	value := func(i int) float64 { return float64(i + 1) }
+	for _, q := range []float64{-1, 0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1, 2} {
+		got := QuantileOfCounts(counts, value, q)
+		want := Percentile(raw, q)
+		if got != want {
+			t.Fatalf("q=%v: counts %v != percentile %v", q, got, want)
+		}
+	}
+}
+
+func TestQuantileOfCountsEmpty(t *testing.T) {
+	if got := QuantileOfCounts(nil, func(int) float64 { return 1 }, 0.5); got != 0 {
+		t.Fatalf("empty counts: %v", got)
+	}
+	if got := QuantileOfCounts([]int64{0, 0}, func(int) float64 { return 1 }, 0.5); got != 0 {
+		t.Fatalf("all-zero counts: %v", got)
+	}
+}
