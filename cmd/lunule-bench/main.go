@@ -39,15 +39,17 @@ func main() {
 		jsonPath = flag.String("json", "", "also write machine-readable results to this file")
 		mdPath   = flag.String("md", "", "write a markdown report to this file instead of stdout tables")
 
-		tickbench  = flag.Bool("tickbench", false, "run the tick-loop micro-benchmark matrix instead of the experiments")
-		tbOut      = flag.String("tickbench-out", "", "write the tickbench JSON report to this file (the BENCH_pr2.json format)")
-		tbBaseline = flag.String("tickbench-baseline", "", "diff tickbench results against this checked-in JSON baseline")
-		tbTicks    = flag.Int64("tickbench-ticks", 300, "measured ticks per tickbench case (after a 100-tick warmup)")
+		tickbench    = flag.Bool("tickbench", false, "run the tick-loop micro-benchmark matrix instead of the experiments")
+		tbOut        = flag.String("tickbench-out", "", "write the tickbench JSON report to this file (the BENCH_pr3.json format)")
+		tbBaseline   = flag.String("tickbench-baseline", "", "diff tickbench results against this checked-in JSON baseline")
+		tbTicks      = flag.Int64("tickbench-ticks", 300, "measured ticks per tickbench case (after a 100-tick warmup)")
+		tbMaxRegress = flag.Float64("tickbench-max-alloc-regress", 0.10,
+			"fail when any case's allocs/tick exceeds the baseline by more than this fraction (negative disables)")
 	)
 	flag.Parse()
 
 	if *tickbench {
-		if err := runTickBench(os.Stdout, *tbTicks, *tbOut, *tbBaseline); err != nil {
+		if err := runTickBench(os.Stdout, *tbTicks, *tbOut, *tbBaseline, *tbMaxRegress); err != nil {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 			os.Exit(1)
 		}

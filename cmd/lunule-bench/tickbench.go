@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/cluster"
@@ -93,10 +94,12 @@ func runTickCase(kind string, mds int, warmup, ticks int64) (tickCase, error) {
 
 // runTickBench executes the full matrix ({4,8,16} MDS x {zipf,
 // shareddir}), prints a table, optionally writes the JSON report and
-// diffs it against a checked-in baseline. The diff is informational:
-// wall-clock numbers move with the host, so it reports ratios rather
-// than failing a threshold.
-func runTickBench(stdout io.Writer, ticks int64, outPath, baselinePath string) error {
+// diffs it against a checked-in baseline. ns/tick ratios are
+// informational (wall clock moves with the host), but allocs/tick is a
+// property of the code: when maxAllocRegress >= 0, any case whose
+// allocs/tick exceeds the baseline by more than that fraction fails
+// the run loudly.
+func runTickBench(stdout io.Writer, ticks int64, outPath, baselinePath string, maxAllocRegress float64) error {
 	if ticks <= 0 {
 		ticks = 300
 	}
@@ -123,15 +126,17 @@ func runTickBench(stdout io.Writer, ticks int64, outPath, baselinePath string) e
 		fmt.Fprintf(stdout, "tick benchmark written to %s\n", outPath)
 	}
 	if baselinePath != "" {
-		if err := diffTickBaseline(stdout, rep, baselinePath); err != nil {
+		if err := diffTickBaseline(stdout, rep, baselinePath, maxAllocRegress); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// diffTickBaseline prints current/baseline ratios per case.
-func diffTickBaseline(stdout io.Writer, rep tickReport, path string) error {
+// diffTickBaseline prints current/baseline ratios per case and, when
+// maxAllocRegress >= 0, fails if any case's allocs/tick regressed past
+// the threshold (ns/tick stays informational — it moves with the host).
+func diffTickBaseline(stdout io.Writer, rep tickReport, path string, maxAllocRegress float64) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("read baseline: %w", err)
@@ -144,15 +149,26 @@ func diffTickBaseline(stdout io.Writer, rep tickReport, path string) error {
 	for _, tc := range base.Cases {
 		byName[tc.Name] = tc
 	}
-	fmt.Fprintf(stdout, "\nvs baseline %s (ratio, 1.00 = unchanged; informational):\n", path)
+	fmt.Fprintf(stdout, "\nvs baseline %s (ratio, 1.00 = unchanged; ns informational, allocs gated):\n", path)
+	var regressed []string
 	for _, tc := range rep.Cases {
 		b, ok := byName[tc.Name]
 		if !ok || b.NsPerTick == 0 {
 			fmt.Fprintf(stdout, "%-16s (no baseline)\n", tc.Name)
 			continue
 		}
-		fmt.Fprintf(stdout, "%-16s %5.2fx ns/tick %5.2fx allocs/tick\n",
-			tc.Name, tc.NsPerTick/b.NsPerTick, safeRatio(tc.AllocsPerTick, b.AllocsPerTick))
+		allocRatio := safeRatio(tc.AllocsPerTick, b.AllocsPerTick)
+		verdict := ""
+		if maxAllocRegress >= 0 && b.AllocsPerTick > 0 && allocRatio > 1+maxAllocRegress {
+			verdict = "  ALLOC REGRESSION"
+			regressed = append(regressed, fmt.Sprintf("%s %.2fx", tc.Name, allocRatio))
+		}
+		fmt.Fprintf(stdout, "%-16s %5.2fx ns/tick %5.2fx allocs/tick%s\n",
+			tc.Name, tc.NsPerTick/b.NsPerTick, allocRatio, verdict)
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("allocs/tick regressed more than %.0f%% vs %s: %s",
+			maxAllocRegress*100, path, strings.Join(regressed, ", "))
 	}
 	return nil
 }

@@ -199,7 +199,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	tbl.Add("migrated inodes", fmt.Sprintf("%.0f", rec.MigratedTotal()))
 	tbl.Add("inter-MDS forwards", fmt.Sprintf("%.0f", rec.ForwardsTotal()))
 	tbl.Add("op latency mean / p99 (ticks)", fmt.Sprintf("%.2f / %.0f", rec.MeanLatency(), rec.LatencyQuantile(0.99)))
-	tbl.Add("JCT p50 / p99 (ticks)", fmt.Sprintf("%.0f / %.0f", rec.JCTQuantile(0.5), rec.JCTQuantile(0.99)))
+	jcts := rec.JCTQuantiles(0.5, 0.99)
+	tbl.Add("JCT p50 / p99 (ticks)", fmt.Sprintf("%.0f / %.0f", jcts[0], jcts[1]))
 	tbl.Add("subtree entries", fmt.Sprintf("%d", c.Partition().NumEntries()))
 	if faults != nil && !faults.Empty() {
 		var retries, crashN int64

@@ -20,8 +20,12 @@ type Client struct {
 	startTick int64
 	rate      float64 // ops per tick
 
-	credit       float64 // fractional-op accumulator
-	pending      *workload.Op
+	credit float64 // fractional-op accumulator
+	// pending is held by value: a pointer here would force every op
+	// returned by the stream to escape to the heap (one allocation per
+	// op on the serve path).
+	pending      workload.Op
+	hasPending   bool
 	pendingSince int64 // tick the pending op was first attempted
 	debt         int64 // unpaid data bytes
 
@@ -172,8 +176,8 @@ func (c *Client) AccrueCredit() int {
 // any, otherwise the next from the stream, stamping its first-attempt
 // tick. ok=false means the stream is exhausted.
 func (c *Client) NextOp(tick int64) (workload.Op, bool) {
-	if c.pending != nil {
-		return *c.pending, true
+	if c.hasPending {
+		return c.pending, true
 	}
 	if c.streamDone {
 		return workload.Op{}, false
@@ -183,7 +187,8 @@ func (c *Client) NextOp(tick int64) (workload.Op, bool) {
 		c.streamDone = true
 		return workload.Op{}, false
 	}
-	c.pending = &op
+	c.pending = op
+	c.hasPending = true
 	c.pendingSince = tick
 	return op, true
 }
@@ -238,7 +243,8 @@ func (c *Client) CompleteOp(tick int64) int64 {
 	if lat < 1 {
 		lat = 1
 	}
-	c.pending = nil
+	c.pending = workload.Op{}
+	c.hasPending = false
 	c.opsDone++
 	c.backoff = 0
 	c.retryAt = 0
@@ -248,7 +254,7 @@ func (c *Client) CompleteOp(tick int64) int64 {
 // MaybeFinish marks the client done when its stream is exhausted and
 // all data debt is paid. It returns true on the transition.
 func (c *Client) MaybeFinish(tick int64) bool {
-	if c.done || !c.streamDone || c.pending != nil || c.debt > 0 {
+	if c.done || !c.streamDone || c.hasPending || c.debt > 0 {
 		return false
 	}
 	c.done = true

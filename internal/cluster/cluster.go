@@ -81,6 +81,12 @@ type Config struct {
 	// touches the RNG or tick ordering, so the same seed produces the
 	// same run with tracing on or off.
 	Bus *obs.Bus
+	// DisableResolveCache turns off the version-cached authority
+	// resolver and resolves every op with a full ancestor walk. The
+	// cache is semantically invisible (it is invalidated by
+	// Partition.Version on every mutation), so this knob exists only
+	// for the differential tests that prove it.
+	DisableResolveCache bool
 }
 
 func (c *Config) defaults() {
@@ -137,6 +143,7 @@ type Cluster struct {
 
 	tree     *namespace.Tree
 	part     *namespace.Partition
+	resolver *namespace.Resolver // nil when cfg.DisableResolveCache
 	servers  []*mds.Server
 	migrator *mds.Migrator
 	clients  []*client.Client
@@ -149,6 +156,15 @@ type Cluster struct {
 	tick     int64
 	forwards int64
 	doneN    int
+
+	// Reusable per-tick scratch, so the steady-state tick loop does not
+	// allocate: the client service order, the per-MDS op sample, the
+	// live-load vector of epoch close, and the authority chain of the
+	// client-cache-miss path.
+	permBuf   []int
+	perMDSBuf []int
+	liveLoads []float64
+	chainBuf  []namespace.MDSID
 
 	// Fault state: which ranks are crashed-and-unreassigned, when each
 	// currently-down rank crashed, and the cumulative fault counters
@@ -195,6 +211,9 @@ func New(cfg Config) (*Cluster, error) {
 		bus:       cfg.Bus,
 		orphaned:  make(map[namespace.MDSID]bool),
 		crashTick: make(map[namespace.MDSID]int64),
+	}
+	if !cfg.DisableResolveCache {
+		cl.resolver = namespace.NewResolver(part)
 	}
 	for i := 0; i < cfg.MDS; i++ {
 		capacity := cfg.Capacity
@@ -386,8 +405,9 @@ func (c *Cluster) RecoverMDS(rank int) bool {
 		if cl.Backoff() > 0 {
 			cl.ClearBackoff()
 			if c.bus.Enabled(obs.EvBackoffExit) {
-				c.bus.Emit(obs.Event{Tick: c.tick, Type: obs.EvBackoffExit,
-					Fields: obs.F{"client": cl.ID, "reason": "recovery"}})
+				f := obs.AcquireF()
+				f["client"], f["reason"] = cl.ID, "recovery"
+				c.bus.EmitPooled(obs.Event{Tick: c.tick, Type: obs.EvBackoffExit, Fields: f})
 			}
 		}
 	}
@@ -530,11 +550,19 @@ func (c *Cluster) Step() {
 	}
 	c.migrator.Tick(tick)
 
-	for _, ci := range c.rand.Perm(len(c.clients)) {
+	if cap(c.permBuf) < len(c.clients) {
+		c.permBuf = make([]int, len(c.clients))
+	}
+	perm := c.permBuf[:len(c.clients)]
+	c.rand.PermInto(perm)
+	for _, ci := range perm {
 		c.stepClient(c.clients[ci], tick, epoch)
 	}
 
-	perMDS := make([]int, len(c.servers))
+	if cap(c.perMDSBuf) < len(c.servers) {
+		c.perMDSBuf = make([]int, len(c.servers))
+	}
+	perMDS := c.perMDSBuf[:len(c.servers)]
 	for i, s := range c.servers {
 		perMDS[i] = s.OpsThisTick()
 	}
@@ -574,8 +602,9 @@ func (c *Cluster) stepClient(cl *client.Client, tick, epoch int64) {
 			c.stalledDown++
 			cl.RetainBackoff(tick)
 			if c.bus.Enabled(obs.EvBackoffEnter) {
-				c.bus.Emit(obs.Event{Tick: tick, Type: obs.EvBackoffEnter,
-					Fields: obs.F{"client": cl.ID, "backoff": cl.Backoff(), "retry_at": tick + cl.Backoff()}})
+				f := obs.AcquireF()
+				f["client"], f["backoff"], f["retry_at"] = cl.ID, cl.Backoff(), tick+cl.Backoff()
+				c.bus.EmitPooled(obs.Event{Tick: tick, Type: obs.EvBackoffEnter, Fields: f})
 			}
 			return
 		case execStall:
@@ -585,8 +614,9 @@ func (c *Cluster) stepClient(cl *client.Client, tick, epoch int64) {
 		if cl.Backoff() > 0 && c.bus.Enabled(obs.EvBackoffExit) {
 			// The op that was backing off finally served: the client
 			// leaves the backoff regime.
-			c.bus.Emit(obs.Event{Tick: tick, Type: obs.EvBackoffExit,
-				Fields: obs.F{"client": cl.ID, "reason": "served"}})
+			f := obs.AcquireF()
+			f["client"], f["reason"] = cl.ID, "served"
+			c.bus.EmitPooled(obs.Event{Tick: tick, Type: obs.EvBackoffExit, Fields: f})
 		}
 		c.rec.AddLatency(cl.CompleteOp(tick))
 		if c.cfg.DataPath && op.DataSize > 0 {
@@ -636,7 +666,12 @@ func (c *Cluster) execute(cl *client.Client, op workload.Op, epoch int64) execSt
 			target = in
 		}
 	}
-	chain, entry := c.part.ResolveChain(target)
+	var entry namespace.Entry
+	if c.resolver != nil {
+		entry = c.resolver.Entry(target)
+	} else {
+		entry = c.part.GoverningEntry(target)
+	}
 	auth := c.servers[entry.Auth]
 	if !auth.Up() {
 		auth.NoteStall()
@@ -655,7 +690,11 @@ func (c *Cluster) execute(cl *client.Client, op workload.Op, epoch int64) execSt
 		auth.Serve(entry, target, epoch)
 		return execOK
 	}
-	// Cache miss or stale mapping: the request relays along the chain.
+	// Cache miss or stale mapping: the request relays along the
+	// authority chain, which only this path needs to materialize (into
+	// the cluster's reusable buffer).
+	chain, _ := c.part.ResolveChainInto(c.chainBuf, target)
+	c.chainBuf = chain[:0]
 	for _, h := range chain[:len(chain)-1] {
 		if !c.servers[h].Up() {
 			c.servers[h].NoteStall()
@@ -679,29 +718,30 @@ func (c *Cluster) endEpoch(tick, epoch int64) {
 	// Epoch bookkeeping runs on every server (down ones record a zero
 	// epoch), but the imbalance factor is evaluated over live ranks
 	// only — a crashed server is an availability event, not imbalance.
-	var liveLoads []float64
+	liveLoads := c.liveLoads[:0]
 	for _, s := range c.servers {
 		load := s.EndEpoch(c.cfg.EpochTicks)
 		if s.Up() {
 			liveLoads = append(liveLoads, load)
 		}
 	}
+	c.liveLoads = liveLoads[:0]
 	res := core.IFModel{}.Compute(liveLoads, float64(c.cfg.Capacity))
 	c.rec.SampleEpoch(tick, res.IF, res.CoV)
 	if c.bus.Enabled(obs.EvEpoch) {
-		c.bus.Emit(obs.Event{Tick: tick, Type: obs.EvEpoch, Fields: obs.F{
-			"epoch": epoch, "if": res.IF, "cov": res.CoV, "live": len(liveLoads),
-		}})
+		f := obs.AcquireF()
+		f["epoch"], f["if"], f["cov"], f["live"] = epoch, res.IF, res.CoV, len(liveLoads)
+		c.bus.EmitPooled(obs.Event{Tick: tick, Type: obs.EvEpoch, Fields: f})
 	}
 	if c.bus.Enabled(obs.EvRank) {
 		for i, s := range c.servers {
 			queued, active := c.migrator.TasksFor(namespace.MDSID(i))
-			c.bus.Emit(obs.Event{Tick: tick, Type: obs.EvRank, Fields: obs.F{
-				"rank": i, "epoch": epoch, "load": s.CurrentLoad(),
-				"ops": s.OpsTotal(), "stalls": s.Stalls(),
-				"heat": s.HeatEntries(), "queued": queued, "active": active,
-				"up": s.Up(),
-			}})
+			f := obs.AcquireF()
+			f["rank"], f["epoch"], f["load"] = i, epoch, s.CurrentLoad()
+			f["ops"], f["stalls"] = s.OpsTotal(), s.Stalls()
+			f["heat"], f["queued"], f["active"] = s.HeatEntries(), queued, active
+			f["up"] = s.Up()
+			c.bus.EmitPooled(obs.Event{Tick: tick, Type: obs.EvRank, Fields: f})
 		}
 	}
 	c.cfg.Balancer.Rebalance(&view{c: c, epoch: epoch})

@@ -89,11 +89,13 @@ func runFig11(opt Options) (*Result, error) {
 	res := &Result{Table: &metrics.Table{Header: []string{
 		"balancer", "JCT p50", "JCT p80", "JCT p99",
 	}}}
+	qs := []float64{0.5, 0.8, 0.99}
 	for _, b := range []string{"Vanilla", "Lunule"} {
 		rec := cs[b].Metrics()
-		res.Table.Add(b, fi(rec.JCTQuantile(0.5)), fi(rec.JCTQuantile(0.8)), fi(rec.JCTQuantile(0.99)))
-		for _, q := range []float64{0.5, 0.8, 0.99} {
-			res.val(fmt.Sprintf("%s.p%.0f", b, q*100), rec.JCTQuantile(q))
+		jcts := rec.JCTQuantiles(qs...) // one sort for all three quantiles
+		res.Table.Add(b, fi(jcts[0]), fi(jcts[1]), fi(jcts[2]))
+		for i, q := range qs {
+			res.val(fmt.Sprintf("%s.p%.0f", b, q*100), jcts[i])
 		}
 	}
 	if v := res.Values["Lunule.p99"]; v > 0 {

@@ -1,0 +1,155 @@
+package mds
+
+import "repro/internal/namespace"
+
+// heatFloor mirrors the eviction threshold of the original eager decay
+// sweep: heat below it reads as zero and is eligible for purging.
+const heatFloor = 0.01
+
+// heatPurgeEvery is the period, in heat epochs, of the incremental
+// purge that removes expired cells. The trigger depends only on the
+// epoch counter — never on read patterns or map iteration order — so
+// purging cannot perturb determinism.
+const heatPurgeEvery = 64
+
+// heatCell is one lazily decayed popularity counter. Instead of being
+// multiplied by the decay factor on every epoch close (an O(table)
+// sweep), the cell records the heat epoch it was last written in; reads
+// decay it on the fly as val × decay^(now−stamp). A value that has
+// decayed below heatFloor reads as zero, exactly like the eager sweep
+// that deleted such entries.
+type heatCell struct {
+	val   float64
+	epoch int64
+}
+
+// heatTable holds the decayed popularity counters of one MDS, keyed by
+// subtree entry and by directory. Epoch close is O(1): it advances the
+// epoch stamp, and every heatPurgeEvery epochs sweeps out expired cells.
+type heatTable struct {
+	decay float64
+	epoch int64
+	byKey map[namespace.FragKey]*heatCell
+	byDir map[namespace.Ino]*heatCell
+	// pow[k] = decay^k, built incrementally by repeated multiplication
+	// (so pow[k] is exactly what k eager sweeps would have multiplied
+	// by, up to floating-point reassociation). Once decay^k underflows
+	// past powCutoff every later power reads as zero.
+	pow []float64
+}
+
+// powCutoff: below this, decay^k × any realistic heat is far under
+// heatFloor, so the pow table stops growing and the value reads as 0.
+const powCutoff = 1e-30
+
+func newHeatTable(decay float64) *heatTable {
+	return &heatTable{
+		decay: decay,
+		byKey: make(map[namespace.FragKey]*heatCell),
+		byDir: make(map[namespace.Ino]*heatCell),
+		pow:   []float64{1},
+	}
+}
+
+// value returns the cell's decayed heat at the current epoch.
+func (t *heatTable) value(c *heatCell) float64 {
+	k := t.epoch - c.epoch
+	if k <= 0 {
+		return c.val
+	}
+	p, ok := t.powAt(k)
+	if !ok {
+		return 0
+	}
+	v := c.val * p
+	if v < heatFloor {
+		return 0
+	}
+	return v
+}
+
+// powAt returns decay^k; ok is false when the power has underflowed
+// past powCutoff (value reads as zero).
+func (t *heatTable) powAt(k int64) (float64, bool) {
+	for int64(len(t.pow)) <= k {
+		next := t.pow[len(t.pow)-1] * t.decay
+		if next < powCutoff {
+			return 0, false
+		}
+		t.pow = append(t.pow, next)
+	}
+	return t.pow[k], true
+}
+
+// bump folds the pending decay into the cell and adds one access.
+func (t *heatTable) bump(c *heatCell) {
+	c.val = t.value(c) + 1
+	c.epoch = t.epoch
+}
+
+// keyCell returns the cell for a subtree entry, creating it on first use.
+func (t *heatTable) keyCell(key namespace.FragKey) *heatCell {
+	c := t.byKey[key]
+	if c == nil {
+		c = &heatCell{epoch: t.epoch}
+		t.byKey[key] = c
+	}
+	return c
+}
+
+// dirCell returns the cell for a directory, creating it on first use.
+func (t *heatTable) dirCell(ino namespace.Ino) *heatCell {
+	c := t.byDir[ino]
+	if c == nil {
+		c = &heatCell{epoch: t.epoch}
+		t.byDir[ino] = c
+	}
+	return c
+}
+
+// endEpoch closes the current heat epoch in O(1) and reports whether an
+// incremental purge ran (callers holding cached cell pointers must
+// invalidate them when it did).
+func (t *heatTable) endEpoch() (purged bool) {
+	t.epoch++
+	if t.epoch%heatPurgeEvery != 0 {
+		return false
+	}
+	// Remove expired cells. Deletion only — the surviving state does
+	// not depend on map iteration order, so this stays deterministic.
+	for k, c := range t.byKey {
+		if t.value(c) == 0 {
+			delete(t.byKey, k)
+		}
+	}
+	for k, c := range t.byDir {
+		if t.value(c) == 0 {
+			delete(t.byDir, k)
+		}
+	}
+	return true
+}
+
+// entries counts the subtree cells currently carrying non-negligible
+// heat. Pure read: no mutation, no order dependence.
+func (t *heatTable) entries() int {
+	n := 0
+	for _, c := range t.byKey {
+		if t.value(c) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// dirChain caches the ancestor heat cells an access to a child of one
+// parent directory must bump: the cells for parent, grandparent, ...,
+// up to and including the subtree root stop. Repeated accesses under
+// the same parent (the common case — shared-directory workloads hammer
+// one dir) reduce to one map lookup plus pointer bumps instead of an
+// O(depth) map walk per op.
+type dirChain struct {
+	gen  uint64        // server cache generation the chain was built in
+	stop namespace.Ino // subtree root the chain was built against
+	dirs []*heatCell
+}

@@ -1,0 +1,126 @@
+package mds
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/namespace"
+)
+
+// eagerHeat is the reference implementation the lazy table replaced:
+// every epoch close multiplies every counter by the decay factor and
+// deletes entries that fall below the floor.
+type eagerHeat struct {
+	decay float64
+	vals  map[int]float64
+}
+
+func (e *eagerHeat) bump(id int) { e.vals[id]++ }
+func (e *eagerHeat) read(id int) float64 {
+	v := e.vals[id]
+	if v < heatFloor {
+		return 0
+	}
+	return v
+}
+func (e *eagerHeat) endEpoch() {
+	for id, v := range e.vals {
+		v *= e.decay
+		if v < heatFloor {
+			delete(e.vals, id)
+			continue
+		}
+		e.vals[id] = v
+	}
+}
+
+// TestLazyHeatMatchesEagerSweep drives the lazy table and the eager
+// reference through an identical deterministic schedule of bumps and
+// epoch closes — including gaps long enough for values to expire and
+// for the periodic purge to run — and asserts every read agrees within
+// floating-point reassociation error (lazy computes val×decay^k with a
+// precomputed power; eager multiplies k times in sequence).
+func TestLazyHeatMatchesEagerSweep(t *testing.T) {
+	const decay = 0.5
+	lazy := newHeatTable(decay)
+	eager := &eagerHeat{decay: decay, vals: map[int]float64{}}
+	cells := map[int]*heatCell{}
+	cell := func(id int) *heatCell {
+		c := cells[id]
+		if c == nil {
+			c = &heatCell{epoch: lazy.epoch}
+			cells[id] = c
+		}
+		return c
+	}
+
+	check := func(step int, ids ...int) {
+		t.Helper()
+		for _, id := range ids {
+			got := lazy.value(cell(id))
+			want := eager.read(id)
+			if math.Abs(got-want) > 1e-9*math.Max(1, want) {
+				t.Fatalf("step %d, cell %d: lazy %v != eager %v (epoch %d)",
+					step, id, got, want, lazy.epoch)
+			}
+		}
+	}
+
+	// A deterministic schedule: each step bumps a subset of cells some
+	// number of times, then closes the epoch. Cell 0 is hot throughout,
+	// cell 1 goes cold and must expire, cell 2 reappears after a gap,
+	// cells 3+ churn. 200 epochs crosses the purge period (64) 3 times.
+	for step := 0; step < 200; step++ {
+		bumps := []struct{ id, n int }{{0, 5}}
+		if step < 10 {
+			bumps = append(bumps, struct{ id, n int }{1, 3})
+		}
+		if step%40 == 0 {
+			bumps = append(bumps, struct{ id, n int }{2, 7})
+		}
+		bumps = append(bumps, struct{ id, n int }{3 + step%4, 1})
+		for _, b := range bumps {
+			for i := 0; i < b.n; i++ {
+				lazy.bump(cell(b.id))
+				eager.bump(b.id)
+			}
+		}
+		check(step, 0, 1, 2, 3, 4, 5, 6)
+		lazy.endEpoch()
+		eager.endEpoch()
+		check(step, 0, 1, 2, 3, 4, 5, 6)
+	}
+
+	// Cell 1 stopped being bumped at step 10 with heat ~6; at decay 0.5
+	// it is far below the floor by now and must read as zero.
+	if v := lazy.value(cell(1)); v != 0 {
+		t.Fatalf("expired cell reads %v, want 0", v)
+	}
+}
+
+// TestHeatPurgeRemovesExpiredCells asserts the periodic purge actually
+// frees table entries (the lazy design's answer to unbounded growth)
+// without touching live ones.
+func TestHeatPurgeRemovesExpiredCells(t *testing.T) {
+	lazy := newHeatTable(0.5)
+	key := func(i int) namespace.FragKey { return namespace.FragKey{Dir: namespace.Ino(i)} }
+	hot := lazy.keyCell(key(0))
+	for i := 0; i < 1000; i++ {
+		lazy.bump(lazy.keyCell(key(i)))
+	}
+	if got := len(lazy.byKey); got != 1000 {
+		t.Fatalf("table has %d cells, want 1000", got)
+	}
+	for e := 0; e < heatPurgeEvery; e++ {
+		lazy.bump(hot) // keep one cell alive across every epoch
+		if lazy.endEpoch() != (lazy.epoch%heatPurgeEvery == 0) {
+			t.Fatalf("purge signal wrong at epoch %d", lazy.epoch)
+		}
+	}
+	if got := len(lazy.byKey); got != 1 {
+		t.Fatalf("after purge: %d cells, want only the hot one", got)
+	}
+	if lazy.value(hot) == 0 {
+		t.Fatal("hot cell must survive the purge")
+	}
+}

@@ -152,8 +152,11 @@ func taskFields(t *ExportTask, extra obs.F) obs.F {
 }
 
 // IsFrozen reports whether the subtree entry is frozen by an in-flight
-// migration (requests to it must stall).
-func (m *Migrator) IsFrozen(key namespace.FragKey) bool { return m.frozen[key] }
+// migration (requests to it must stall). Called on every op, so the
+// common no-migrations-in-flight case skips the map hash entirely.
+func (m *Migrator) IsFrozen(key namespace.FragKey) bool {
+	return len(m.frozen) != 0 && m.frozen[key]
+}
 
 // Tick advances the migration engine by one tick: it completes
 // transfers that finish now, expires stale queued tasks, activates

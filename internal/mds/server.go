@@ -31,8 +31,14 @@ type Server struct {
 	historyWindows int
 
 	heatDecay float64
-	heatByKey map[namespace.FragKey]float64
-	heatByDir map[namespace.Ino]float64
+	heat      *heatTable
+
+	// chainCache memoizes, per parent directory, the ancestor heat
+	// cells an access under that directory bumps. Invalidated by
+	// bumping cacheGen (on rejoin and after heat purges, which may
+	// delete cells the chains point at).
+	chainCache map[namespace.Ino]*dirChain
+	cacheGen   uint64
 
 	loadHistory []float64 // per-epoch load (ops/sec), appended by EndEpoch
 }
@@ -54,8 +60,9 @@ func NewServer(id namespace.MDSID, capacity, historyWindows int, heatDecay float
 		collector:      trace.NewCollector(historyWindows),
 		historyWindows: historyWindows,
 		heatDecay:      heatDecay,
-		heatByKey:      make(map[namespace.FragKey]float64),
-		heatByDir:      make(map[namespace.Ino]float64),
+		heat:           newHeatTable(heatDecay),
+		chainCache:     make(map[namespace.Ino]*dirChain),
+		cacheGen:       1,
 	}
 }
 
@@ -112,8 +119,9 @@ func (s *Server) Rejoin() {
 	}
 	s.down = false
 	s.collector = trace.NewCollector(s.historyWindows)
-	s.heatByKey = make(map[namespace.FragKey]float64)
-	s.heatByDir = make(map[namespace.Ino]float64)
+	s.heat = newHeatTable(s.heatDecay)
+	s.chainCache = make(map[namespace.Ino]*dirChain)
+	s.cacheGen++
 	s.loadHistory = nil
 	s.opsEpoch = 0
 }
@@ -158,20 +166,48 @@ func (s *Server) Serve(e namespace.Entry, in *namespace.Inode, epoch int64) bool
 // NoteStall records a request that could not be served this tick.
 func (s *Server) NoteStall() { s.stallsTotal++ }
 
+// addHeat charges one access to the subtree entry's counter and to
+// every directory from the inode's parent up to the subtree root.
+// The ancestor walk is cached per parent directory (a few pointer
+// bumps in the steady state); the chain is rebuilt when the governing
+// subtree root changes (split/migration) or the cache generation moves.
 func (s *Server) addHeat(key namespace.FragKey, in *namespace.Inode) {
-	s.heatByKey[key]++
-	for d := in.Parent; d != nil; d = d.Parent {
-		s.heatByDir[d.Ino]++
-		if d.Ino == key.Dir {
+	s.heat.bump(s.heat.keyCell(key))
+	par := in.Parent
+	if par == nil {
+		return
+	}
+	cc := s.chainCache[par.Ino]
+	if cc == nil || cc.gen != s.cacheGen || cc.stop != key.Dir {
+		cc = s.buildChain(par, key.Dir)
+		s.chainCache[par.Ino] = cc
+	}
+	for _, c := range cc.dirs {
+		s.heat.bump(c)
+	}
+}
+
+// buildChain collects the heat cells for par, par's parent, ..., up to
+// and including the directory stop (or the root if stop is not an
+// ancestor), mirroring the original per-op ancestor walk.
+func (s *Server) buildChain(par *namespace.Inode, stop namespace.Ino) *dirChain {
+	cc := &dirChain{gen: s.cacheGen, stop: stop}
+	for d := par; d != nil; d = d.Parent {
+		cc.dirs = append(cc.dirs, s.heat.dirCell(d.Ino))
+		if d.Ino == stop {
 			break
 		}
 	}
+	return cc
 }
 
 // EndEpoch closes the current epoch: it computes the epoch's load in
 // ops/sec (epochTicks ticks of one second each), appends it to the load
-// history, decays the popularity counters, and resets the epoch
-// counter. It returns the epoch load.
+// history, advances the lazy heat-decay epoch, and resets the epoch
+// counter. It returns the epoch load. Unlike the original O(table)
+// multiplicative sweep, closing an epoch is O(1): counters carry an
+// epoch stamp and reads decay them as heat × decay^(now−stamp); an
+// incremental purge sweeps expired cells every heatPurgeEvery epochs.
 func (s *Server) EndEpoch(epochTicks int) float64 {
 	if epochTicks <= 0 {
 		epochTicks = 1
@@ -179,21 +215,9 @@ func (s *Server) EndEpoch(epochTicks int) float64 {
 	load := float64(s.opsEpoch) / float64(epochTicks)
 	s.loadHistory = append(s.loadHistory, load)
 	s.opsEpoch = 0
-	for k, v := range s.heatByKey {
-		v *= s.heatDecay
-		if v < 0.01 {
-			delete(s.heatByKey, k)
-		} else {
-			s.heatByKey[k] = v
-		}
-	}
-	for k, v := range s.heatByDir {
-		v *= s.heatDecay
-		if v < 0.01 {
-			delete(s.heatByDir, k)
-		} else {
-			s.heatByDir[k] = v
-		}
+	if s.heat.endEpoch() {
+		// The purge may have removed cells cached chains point at.
+		s.cacheGen++
 	}
 	return load
 }
@@ -202,21 +226,34 @@ func (s *Server) EndEpoch(epochTicks int) float64 {
 func (s *Server) Collector() *trace.Collector { return s.collector }
 
 // HeatOfKey returns the decayed popularity of a subtree entry.
-func (s *Server) HeatOfKey(key namespace.FragKey) float64 { return s.heatByKey[key] }
+func (s *Server) HeatOfKey(key namespace.FragKey) float64 {
+	c := s.heat.byKey[key]
+	if c == nil {
+		return 0
+	}
+	return s.heat.value(c)
+}
 
 // HeatOfDir returns the decayed popularity accumulated at a directory.
-func (s *Server) HeatOfDir(ino namespace.Ino) float64 { return s.heatByDir[ino] }
+func (s *Server) HeatOfDir(ino namespace.Ino) float64 {
+	c := s.heat.byDir[ino]
+	if c == nil {
+		return 0
+	}
+	return s.heat.value(c)
+}
 
 // HeatEntries returns how many subtree entries currently carry
 // non-negligible heat — the heat-table size of the per-rank trace
 // timeline.
-func (s *Server) HeatEntries() int { return len(s.heatByKey) }
+func (s *Server) HeatEntries() int { return s.heat.entries() }
 
 // DropSubtreeStats clears trace and heat state for a subtree that has
-// been migrated away.
+// been migrated away. (Chain caches only hold directory cells, so no
+// invalidation is needed for a key-cell delete.)
 func (s *Server) DropSubtreeStats(key namespace.FragKey) {
 	s.collector.Forget(key)
-	delete(s.heatByKey, key)
+	delete(s.heat.byKey, key)
 }
 
 // LoadHistory returns the per-epoch load series (ops/sec). The returned

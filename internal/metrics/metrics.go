@@ -244,6 +244,12 @@ func (r *Recorder) JCTQuantile(q float64) float64 {
 	return stats.Percentile(r.JCT, q)
 }
 
+// JCTQuantiles returns several quantiles of the job-completion-time
+// distribution with a single sort (see stats.Percentiles).
+func (r *Recorder) JCTQuantiles(qs ...float64) []float64 {
+	return stats.Percentiles(r.JCT, qs...)
+}
+
 // JCTMax returns the slowest client's completion time.
 func (r *Recorder) JCTMax() float64 { return stats.Max(r.JCT) }
 

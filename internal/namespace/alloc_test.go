@@ -1,0 +1,32 @@
+//go:build !race
+
+// Steady-state allocation contracts for the hot resolution path. The
+// assertions use testing.AllocsPerRun, which is meaningless under the
+// race detector (the runtime inserts extra allocations), so this file
+// is excluded from `make race` / `make check`.
+
+package namespace
+
+import "testing"
+
+func TestResolverEntryZeroAlloc(t *testing.T) {
+	_, p, leaf := benchPartition(t)
+	r := NewResolver(p)
+	r.Entry(leaf) // warm the slot
+	if n := testing.AllocsPerRun(100, func() { r.Entry(leaf) }); n != 0 {
+		t.Fatalf("Resolver.Entry allocates %.1f per call in the steady state, want 0", n)
+	}
+}
+
+func TestResolveChainIntoZeroAlloc(t *testing.T) {
+	_, p, leaf := benchPartition(t)
+	buf := make([]MDSID, 0, 8)
+	buf, _ = p.ResolveChainInto(buf, leaf) // size the buffer
+	buf = buf[:0]
+	if n := testing.AllocsPerRun(100, func() {
+		chain, _ := p.ResolveChainInto(buf, leaf)
+		buf = chain[:0]
+	}); n != 0 {
+		t.Fatalf("ResolveChainInto allocates %.1f per call with a warm buffer, want 0", n)
+	}
+}

@@ -31,12 +31,24 @@ type Entry struct {
 // inodes a subtree entry governs.
 type Partition struct {
 	tree *Tree
-	// entries[dir] lists the fragment entries rooted at dir. Almost
-	// always length 1; longer only after dirfrag splits.
+	// entries[dir] lists the fragment entries rooted at dir, kept
+	// sorted by the start of each fragment's hash range so membership
+	// lookups can binary-search. Almost always length 1; longer only
+	// after dirfrag splits.
 	entries map[Ino][]Entry
 	version uint64
 	// size bookkeeping for O(1) NumEntries.
 	numEntries int
+}
+
+// fragStart returns the first 32-bit hash the fragment covers. The
+// fragments of one directory are disjoint, so their starts are unique
+// and ordering by start is total.
+func fragStart(f Frag) uint32 {
+	if f.Bits == 0 {
+		return 0
+	}
+	return f.Value << (32 - uint32(f.Bits))
 }
 
 // NewPartition creates a partition in which the entire namespace is
@@ -70,17 +82,33 @@ func (p *Partition) RootEntry() Entry {
 		}
 	}
 	// The root dir's entries were split; resolution of the root inode
-	// itself falls to the first fragment by convention.
+	// itself falls to the lowest-range fragment by convention (entries
+	// are kept sorted by range start).
 	return p.entries[RootIno][0]
 }
 
 // lookupEntry returns the entry rooted at (dir, frag-containing-h), if any.
 func (p *Partition) lookupEntry(dir Ino, h uint32) (Entry, bool) {
 	es := p.entries[dir]
-	for _, e := range es {
-		if e.Key.Frag.Contains(h) {
-			return e, true
+	if len(es) == 0 {
+		return Entry{}, false
+	}
+	// Entries are disjoint and sorted by range start: binary-search the
+	// last entry starting at or below h, then confirm containment.
+	lo, hi := 0, len(es)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if fragStart(es[mid].Key.Frag) <= h {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
+	}
+	if lo == 0 {
+		return Entry{}, false
+	}
+	if e := es[lo-1]; e.Key.Frag.Contains(h) {
+		return e, true
 	}
 	return Entry{}, false
 }
@@ -159,7 +187,16 @@ func (p *Partition) ResolveWithHops(in *Inode) (Entry, int) {
 // served by the last element; every earlier element relays (forwards)
 // it.
 func (p *Partition) ResolveChain(in *Inode) ([]MDSID, Entry) {
-	var auths []MDSID
+	return p.ResolveChainInto(nil, in)
+}
+
+// ResolveChainInto is ResolveChain with the authorities written into
+// buf (grown as needed). Once buf has reached the chain depth the call
+// performs no allocations, which is what the per-op serve path needs.
+// The returned slice aliases buf and is only valid until the next call
+// with the same buffer.
+func (p *Partition) ResolveChainInto(buf []MDSID, in *Inode) ([]MDSID, Entry) {
+	auths := buf[:0]
 	var governing Entry
 	found := false
 	for cur := in; cur.Parent != nil; cur = cur.Parent {
@@ -176,12 +213,16 @@ func (p *Partition) ResolveChain(in *Inode) ([]MDSID, Entry) {
 	if !found {
 		governing = root
 	}
-	// auths is bottom-up; produce the top-down chain with adjacent
-	// duplicates collapsed.
-	chain := make([]MDSID, 0, len(auths))
-	for i := len(auths) - 1; i >= 0; i-- {
-		if len(chain) == 0 || chain[len(chain)-1] != auths[i] {
-			chain = append(chain, auths[i])
+	// auths is bottom-up; reverse in place, then collapse adjacent
+	// duplicates (the write index never passes the read index, so the
+	// collapse can reuse the same backing array).
+	for i, j := 0, len(auths)-1; i < j; i, j = i+1, j-1 {
+		auths[i], auths[j] = auths[j], auths[i]
+	}
+	chain := auths[:1]
+	for _, a := range auths[1:] {
+		if a != chain[len(chain)-1] {
+			chain = append(chain, a)
 		}
 	}
 	return chain, governing
@@ -246,8 +287,13 @@ func (p *Partition) SplitEntry(key FragKey) (Entry, Entry, bool) {
 			lf, rf := e.Key.Frag.Split()
 			left := Entry{Key: FragKey{Dir: key.Dir, Frag: lf}, Auth: e.Auth}
 			right := Entry{Key: FragKey{Dir: key.Dir, Frag: rf}, Auth: e.Auth}
+			// left reuses the parent's range start; right begins at the
+			// midpoint, so inserting it just after left keeps es sorted.
 			es[i] = left
-			p.entries[key.Dir] = append(es, right)
+			es = append(es, Entry{})
+			copy(es[i+2:], es[i+1:])
+			es[i+1] = right
+			p.entries[key.Dir] = es
 			p.numEntries++
 			p.version++
 			return left, right, true
@@ -307,7 +353,8 @@ func (p *Partition) MergeWithSibling(key FragKey) (Entry, bool) {
 	if !ok || sib.Auth != self.Auth {
 		return Entry{}, false
 	}
-	// Remove both halves, insert the parent fragment.
+	// Remove both halves, insert the parent fragment at its sorted
+	// position (the filter preserves the relative order of the rest).
 	es := p.entries[key.Dir]
 	kept := es[:0]
 	for _, e := range es {
@@ -316,7 +363,16 @@ func (p *Partition) MergeWithSibling(key FragKey) (Entry, bool) {
 		}
 	}
 	merged := Entry{Key: FragKey{Dir: key.Dir, Frag: key.Frag.Parent()}, Auth: self.Auth}
-	kept = append(kept, merged)
+	pos := len(kept)
+	for j, e := range kept {
+		if fragStart(e.Key.Frag) > fragStart(merged.Key.Frag) {
+			pos = j
+			break
+		}
+	}
+	kept = append(kept, Entry{})
+	copy(kept[pos+1:], kept[pos:])
+	kept[pos] = merged
 	p.entries[key.Dir] = kept
 	p.numEntries--
 	p.version++

@@ -1,0 +1,65 @@
+package namespace
+
+// Resolver memoizes governing-entry resolution per inode. GoverningEntry
+// walks the ancestor chain on every call — O(depth) map lookups — but the
+// partition mutates rarely (a version bump per SetAuth/Carve/Split/
+// Absorb/Merge) while the serve path resolves authority on every op.
+// Caching the result per inode and invalidating on Partition.Version()
+// makes resolution O(1) amortized.
+//
+// Invalidation rule: any partition mutation bumps Version(); the resolver
+// compares the partition version against the version it last observed and,
+// on mismatch, advances a generation counter that logically empties the
+// whole cache in O(1) (slots are stamped with the generation that filled
+// them, so stale slots simply miss). Inode numbers are dense and never
+// reused, so the cache is a flat slice indexed by Ino.
+type Resolver struct {
+	p     *Partition
+	ver   uint64 // partition version the current generation matches
+	gen   uint64 // bumped whenever ver falls behind the partition
+	slots []resolverSlot
+}
+
+type resolverSlot struct {
+	gen   uint64
+	entry Entry
+}
+
+// NewResolver creates a resolver over the partition. The cache starts
+// empty; it grows to the highest inode number resolved.
+func NewResolver(p *Partition) *Resolver {
+	return &Resolver{p: p, ver: p.Version(), gen: 1}
+}
+
+// Entry returns the partition entry governing the inode, equal to
+// p.GoverningEntry(in) at the partition's current version. Amortized
+// O(1): a version check, a slice index, and (on miss) one ancestor walk
+// whose result is cached until the next partition mutation.
+func (r *Resolver) Entry(in *Inode) Entry {
+	if v := r.p.Version(); v != r.ver {
+		r.ver = v
+		r.gen++
+	}
+	idx := int(in.Ino)
+	if idx < len(r.slots) {
+		if s := &r.slots[idx]; s.gen == r.gen {
+			return s.entry
+		}
+	} else {
+		r.grow(idx)
+	}
+	e := r.p.GoverningEntry(in)
+	r.slots[idx] = resolverSlot{gen: r.gen, entry: e}
+	return e
+}
+
+// AuthOf returns the MDS authoritative for the inode (cached).
+func (r *Resolver) AuthOf(in *Inode) MDSID {
+	return r.Entry(in).Auth
+}
+
+func (r *Resolver) grow(idx int) {
+	for len(r.slots) <= idx {
+		r.slots = append(r.slots, resolverSlot{})
+	}
+}

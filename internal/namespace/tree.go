@@ -166,18 +166,32 @@ func (in *Inode) IsAncestorOf(other *Inode) bool {
 	return false
 }
 
+// inodeSlabSize is how many inodes each slab chunk holds. Slab
+// allocation amortizes the per-create heap allocation the tick loop
+// would otherwise pay for every new inode.
+const inodeSlabSize = 1024
+
 // Tree is the namespace: a rooted inode hierarchy with an inode-number
 // registry. Tree is not safe for concurrent mutation; the simulator is
 // single-threaded per cluster by design (determinism).
+//
+// Inode numbers are dense (assigned sequentially from RootIno and never
+// reused), so the registry is a flat slice indexed by Ino, and inodes
+// are handed out from slab chunks rather than allocated individually.
+// A removed inode's slab slot is not recycled — acceptable for a
+// simulator where removes are rare and runs are bounded.
 type Tree struct {
 	root   *Inode
-	byIno  map[Ino]*Inode
+	byIno  []*Inode // indexed by Ino; nil for removed inodes
 	nextIn Ino
+	slab   []Inode // current slab chunk; alloc() carves from the front
 }
 
 // NewTree creates a namespace containing only the root directory.
 func NewTree() *Tree {
-	root := &Inode{
+	t := &Tree{nextIn: RootIno + 1}
+	root := t.alloc()
+	*root = Inode{
 		Ino:       RootIno,
 		Name:      "",
 		IsDir:     true,
@@ -185,18 +199,32 @@ func NewTree() *Tree {
 		subInodes: 1,
 		nameHash:  HashName(""),
 	}
-	return &Tree{
-		root:   root,
-		byIno:  map[Ino]*Inode{RootIno: root},
-		nextIn: RootIno + 1,
+	t.root = root
+	t.byIno = make([]*Inode, RootIno+1, inodeSlabSize)
+	t.byIno[RootIno] = root
+	return t
+}
+
+// alloc returns a zeroed inode from the slab.
+func (t *Tree) alloc() *Inode {
+	if len(t.slab) == 0 {
+		t.slab = make([]Inode, inodeSlabSize)
 	}
+	in := &t.slab[0]
+	t.slab = t.slab[1:]
+	return in
 }
 
 // Root returns the root directory inode.
 func (t *Tree) Root() *Inode { return t.root }
 
 // Get returns the inode with the given number, or nil.
-func (t *Tree) Get(ino Ino) *Inode { return t.byIno[ino] }
+func (t *Tree) Get(ino Ino) *Inode {
+	if ino >= Ino(len(t.byIno)) {
+		return nil
+	}
+	return t.byIno[ino]
+}
 
 // NumInodes returns the total number of inodes in the tree.
 func (t *Tree) NumInodes() int { return t.root.subInodes }
@@ -211,7 +239,8 @@ func (t *Tree) attach(parent *Inode, name string, isDir bool, size int64) (*Inod
 	if parent.children[name] != nil {
 		return nil, ErrExists
 	}
-	in := &Inode{
+	in := t.alloc()
+	*in = Inode{
 		Ino:       t.nextIn,
 		Name:      name,
 		Parent:    parent,
@@ -228,7 +257,7 @@ func (t *Tree) attach(parent *Inode, name string, isDir bool, size int64) (*Inod
 	t.nextIn++
 	parent.children[name] = in
 	parent.order = append(parent.order, in)
-	t.byIno[in.Ino] = in
+	t.byIno = append(t.byIno, in)
 	for a := parent; a != nil; a = a.Parent {
 		a.subInodes++
 		a.subFiles += in.subFiles
@@ -298,7 +327,7 @@ func (t *Tree) Remove(in *Inode) error {
 			break
 		}
 	}
-	delete(t.byIno, in.Ino)
+	t.byIno[in.Ino] = nil
 	for a := p; a != nil; a = a.Parent {
 		a.subInodes--
 		a.subFiles -= in.subFiles

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Type names one event kind. The set below is the schema contract for
@@ -123,11 +124,27 @@ func appendJSONValue(dst []byte, v any) []byte {
 func (e Event) String() string { return string(e.AppendJSON(nil)) }
 
 // Sink consumes events. Write must not retain the Fields map past the
-// call unless it copies it (the Ring sink stores events as-is; bus
-// emitters construct a fresh map per emit, so that is safe).
+// call unless it copies it: events emitted through EmitPooled recycle
+// their Fields map after fan-out, so a sink that stores events (the
+// Ring) must copy the map first.
 type Sink interface {
 	Write(Event)
 	Close() error
+}
+
+// fieldPool recycles Fields maps for high-frequency emit sites (the
+// per-tick and per-epoch events of the cluster loop), so tracing stays
+// allocation-free in the steady state. Maps keep their bucket capacity
+// across recycles.
+var fieldPool = sync.Pool{New: func() any { return make(F, 16) }}
+
+// AcquireF returns an empty Fields map from the pool. Pass the event
+// built from it to EmitPooled, which recycles the map after fan-out;
+// after that call the map must not be used again.
+func AcquireF() F {
+	m := fieldPool.Get().(F)
+	clear(m)
+	return m
 }
 
 // Bus fans events out to its sinks, optionally filtered by type. A nil
@@ -176,6 +193,20 @@ func (b *Bus) Emit(e Event) {
 	}
 	for _, s := range b.sinks {
 		s.Write(e)
+	}
+}
+
+// EmitPooled delivers the event to every sink, then returns its Fields
+// map to the pool. The Fields map must come from AcquireF (or be one
+// the caller relinquishes); it must not be touched after this call.
+func (b *Bus) EmitPooled(e Event) {
+	if b.Enabled(e.Type) {
+		for _, s := range b.sinks {
+			s.Write(e)
+		}
+	}
+	if e.Fields != nil {
+		fieldPool.Put(e.Fields)
 	}
 }
 

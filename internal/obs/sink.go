@@ -70,8 +70,17 @@ func NewRing(capacity int) *Ring {
 	return &Ring{events: make([]Event, 0, capacity)}
 }
 
-// Write implements Sink.
+// Write implements Sink. The ring retains events past the call, and
+// the bus may recycle a pooled Fields map after fan-out, so the ring
+// stores a copy of the map.
 func (r *Ring) Write(e Event) {
+	if len(e.Fields) > 0 {
+		cp := make(F, len(e.Fields))
+		for k, v := range e.Fields {
+			cp[k] = v
+		}
+		e.Fields = cp
+	}
 	r.total++
 	if len(r.events) < cap(r.events) {
 		r.events = append(r.events, e)

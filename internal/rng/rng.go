@@ -69,11 +69,18 @@ func (s *Source) Bool(p float64) bool {
 // Perm returns a random permutation of [0, n).
 func (s *Source) Perm(n int) []int {
 	p := make([]int, n)
+	s.PermInto(p)
+	return p
+}
+
+// PermInto fills p with a random permutation of [0, len(p)). It
+// consumes exactly the same random stream as Perm(len(p)), so callers
+// can switch to a reusable buffer without perturbing seeded runs.
+func (s *Source) PermInto(p []int) {
 	for i := range p {
 		p[i] = i
 	}
 	s.ShuffleInts(p)
-	return p
 }
 
 // ShuffleInts shuffles xs in place (Fisher-Yates).

@@ -1,0 +1,54 @@
+package stats
+
+import "testing"
+
+func TestPercentilesMatchesPercentile(t *testing.T) {
+	xs := []float64{9, 1, 4, 7, 2, 8, 3, 6, 5, 0}
+	qs := []float64{-1, 0, 0.25, 0.5, 0.99, 1, 2}
+	got := Percentiles(xs, qs...)
+	if len(got) != len(qs) {
+		t.Fatalf("len = %d, want %d", len(got), len(qs))
+	}
+	for i, q := range qs {
+		if want := Percentile(xs, q); got[i] != want {
+			t.Errorf("q=%v: got %v, want %v", q, got[i], want)
+		}
+	}
+	if xs[0] != 9 {
+		t.Error("Percentiles must not mutate its input")
+	}
+}
+
+func TestPercentilesEmpty(t *testing.T) {
+	got := Percentiles(nil, 0.5, 0.99)
+	if len(got) != 2 || got[0] != 0 || got[1] != 0 {
+		t.Fatalf("empty input: %v", got)
+	}
+	if out := Percentiles([]float64{1, 2, 3}); len(out) != 0 {
+		t.Fatalf("no quantiles requested: %v", out)
+	}
+}
+
+// BenchmarkPercentiles measures the shared-sort path against repeated
+// Percentile calls, the pattern the metrics emission replaced.
+func BenchmarkPercentiles(b *testing.B) {
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = float64((i * 7919) % 10007)
+	}
+	qs := []float64{0.5, 0.8, 0.99}
+	b.Run("shared-sort", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = Percentiles(xs, qs...)
+		}
+	})
+	b.Run("per-quantile", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, q := range qs {
+				_ = Percentile(xs, q)
+			}
+		}
+	})
+}

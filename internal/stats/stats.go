@@ -128,6 +128,24 @@ func Percentile(xs []float64, q float64) float64 {
 	return percentileSorted(sorted, q)
 }
 
+// Percentiles returns the q-quantiles of xs for every q in qs, using
+// the same definition as Percentile but copying and sorting the sample
+// only once. Callers that report several quantiles of one sample (p50,
+// p80, p99 of the JCT distribution, say) should prefer it over repeated
+// Percentile calls, each of which re-copies and re-sorts.
+func Percentiles(xs []float64, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(xs) == 0 || len(qs) == 0 {
+		return out
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	for i, q := range qs {
+		out[i] = percentileSorted(sorted, q)
+	}
+	return out
+}
+
 func percentileSorted(sorted []float64, q float64) float64 {
 	if q <= 0 {
 		return sorted[0]

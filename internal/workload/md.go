@@ -54,17 +54,25 @@ func (g *MD) Setup(tree *namespace.Tree, clients int, src *rng.Source) ([]Client
 }
 
 func newCreates(dir *namespace.Inode, client, n int) Stream {
+	// One create per refill: reuse a single-element batch (seqStream
+	// copies ops out by value) and build names with one allocation each
+	// — the string the tree stores — instead of a Sprintf per op. The
+	// names are byte-identical to fmt.Sprintf("c%03d.f%07d", client, i).
 	i := 0
+	buf := make([]Op, 1)
+	prefix := fmt.Sprintf("c%03d.f", client)
+	scratch := make([]byte, 0, len(prefix)+8)
 	return &seqStream{fill: func() []Op {
 		if i >= n {
 			return nil
 		}
-		op := Op{
+		scratch = appendPadded(append(scratch[:0], prefix...), i, 7)
+		buf[0] = Op{
 			Kind:   OpCreate,
 			Parent: dir,
-			Name:   fmt.Sprintf("c%03d.f%07d", client, i),
+			Name:   string(scratch),
 		}
 		i++
-		return []Op{op}
+		return buf
 	}}
 }

@@ -1,0 +1,23 @@
+package workload
+
+// appendPadded appends non-negative n to dst, zero-padded to at least
+// width digits — byte-identical to fmt.Sprintf("%0*d", width, n), but
+// without fmt's per-call allocations. The op streams generate one name
+// per create, so name formatting sits on the serve path.
+func appendPadded(dst []byte, n, width int) []byte {
+	var tmp [20]byte
+	p := len(tmp)
+	for {
+		p--
+		tmp[p] = byte('0' + n%10)
+		n /= 10
+		if n == 0 {
+			break
+		}
+	}
+	for len(tmp)-p < width {
+		p--
+		tmp[p] = '0'
+	}
+	return append(dst, tmp[p:]...)
+}

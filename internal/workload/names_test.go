@@ -1,0 +1,25 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestAppendPaddedMatchesSprintf(t *testing.T) {
+	cases := []struct{ n, width int }{
+		{0, 7}, {1, 7}, {9, 7}, {10, 7}, {9999999, 7}, {10000000, 7},
+		{123456789, 7}, {0, 0}, {0, 1}, {42, 2}, {42, 1}, {42, 0},
+	}
+	for _, c := range cases {
+		got := string(appendPadded(nil, c.n, c.width))
+		want := fmt.Sprintf("%0*d", c.width, c.n)
+		if got != want {
+			t.Errorf("appendPadded(%d, width %d) = %q, want %q", c.n, c.width, got, want)
+		}
+	}
+	// And as used by the creates stream: appended after a prefix.
+	got := string(appendPadded([]byte("c007.f"), 123, 7))
+	if want := fmt.Sprintf("c%03d.f%07d", 7, 123); got != want {
+		t.Errorf("prefixed form = %q, want %q", got, want)
+	}
+}
