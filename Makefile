@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench gobench
+.PHONY: all build test vet race check bench gobench audit fuzz
 
 all: check
 
@@ -31,3 +31,17 @@ bench:
 # gobench runs the in-package Go micro-benchmarks.
 gobench:
 	$(GO) test -bench=. -benchmem ./...
+
+# fuzz smokes each fuzz target for a short budget with the invariant
+# checks as the oracle (long campaigns: raise FUZZTIME).
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -fuzz=FuzzPartitionOps -fuzztime=$(FUZZTIME) ./internal/audit
+	$(GO) test -fuzz=FuzzFragSplitMerge -fuzztime=$(FUZZTIME) ./internal/audit
+	$(GO) test -fuzz=FuzzMigratorLifecycle -fuzztime=$(FUZZTIME) ./internal/audit
+
+# audit runs the audited failover suite (every experiment run carries
+# the state auditor; any invariant violation fails) plus the fuzz smoke.
+audit: fuzz
+	$(GO) run ./cmd/lunule-bench -exp failover,overhead -audit
+	$(GO) run ./cmd/lunule-sim -audit -audit-every-tick -mtbf 300 -mttr 60 -mds 8 -maxticks 800 >/dev/null

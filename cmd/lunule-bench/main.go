@@ -36,6 +36,7 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "random seed")
 		ticks    = flag.Int64("maxticks", 6000, "per-run simulated-tick budget")
 		seeds    = flag.Int("seeds", 1, "run each experiment this many times (seed, seed+1, ...) and report mean ± std")
+		auditOn  = flag.Bool("audit", false, "attach the state auditor to every run; any invariant violation fails the experiment")
 		jsonPath = flag.String("json", "", "also write machine-readable results to this file")
 		mdPath   = flag.String("md", "", "write a markdown report to this file instead of stdout tables")
 
@@ -68,7 +69,7 @@ func main() {
 	if *exp != "all" {
 		ids = strings.Split(*exp, ",")
 	}
-	opt := experiment.Options{Seed: *seed, Scale: *scale, MaxTicks: *ticks}
+	opt := experiment.Options{Seed: *seed, Scale: *scale, MaxTicks: *ticks, Audit: *auditOn}
 
 	if *mdPath != "" {
 		f, err := os.Create(*mdPath)

@@ -21,6 +21,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/audit"
 	"repro/internal/cluster"
 	"repro/internal/experiment"
 	"repro/internal/fault"
@@ -59,6 +60,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		mtbf      = fs.Float64("mtbf", 0, "random failures: mean ticks between failures per rank (0 = off)")
 		mttr      = fs.Float64("mttr", 0, "random failures: mean ticks to repair (default mtbf/10)")
 		recoveryT = fs.Int("recoveryticks", 0, "failover takeover latency window in ticks (default 20)")
+		auditOn   = fs.Bool("audit", false, "validate cross-module invariants at every epoch; violations fail the run")
+		auditTick = fs.Bool("audit-every-tick", false, "with -audit, run the invariant checks every tick instead of every epoch")
 
 		traceOut   = fs.String("trace-out", "", "write a structured JSONL event trace to this file")
 		traceEvs   = fs.String("trace-events", "", "comma-separated event types to trace (empty or 'all' = everything; see EXPERIMENTS.md)")
@@ -97,6 +100,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	faults, err := buildFaults(*crashes, *recovers, *mtbf, *mttr, *mdsN, *ticks, *seed)
 	if err != nil {
 		return fail(err)
+	}
+	if *auditTick && !*auditOn {
+		return fail(fmt.Errorf("-audit-every-tick needs -audit"))
+	}
+	var auditor *audit.Auditor
+	if *auditOn {
+		auditor = audit.New(audit.Options{EveryTick: *auditTick})
 	}
 
 	// Observability wiring. The bus is nil unless a sink was requested,
@@ -165,6 +175,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		RecoveryTicks: *recoveryT,
 		Faults:        faults,
 		Bus:           bus,
+		Audit:         auditor,
 	})
 	if err != nil {
 		return fail(err)
@@ -220,6 +231,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			tbl.Add("still down at end", fmt.Sprint(down))
 		}
 	}
+	if auditor != nil {
+		tbl.Add("audit passes / violations",
+			fmt.Sprintf("%d / %d", auditor.Passes(), len(auditor.Violations())))
+	}
 	if jsonl != nil {
 		tbl.Add("trace events written", fmt.Sprintf("%d", jsonl.Count()))
 	}
@@ -274,6 +289,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return fail(err)
 		}
 		fmt.Fprintf(stdout, "heap profile written to %s\n", *memProfile)
+	}
+	if vs := auditor.Violations(); len(vs) > 0 {
+		for _, v := range vs {
+			fmt.Fprintf(stderr, "audit violation: %s\n", v)
+		}
+		return fail(auditor.Err())
 	}
 	return 0
 }

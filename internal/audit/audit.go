@@ -1,0 +1,454 @@
+// Package audit validates cross-module invariants of a running cluster:
+// partition structure and authority liveness, governed-inode
+// conservation, resolver-cache agreement, migration freeze windows and
+// counter reconciliation, client credit/debt/backoff bounds, heat
+// non-negativity, and ops conservation. The auditor is strictly
+// read-only — it never mutates simulation state, touches the RNG, or
+// perturbs tick ordering — so a run with the auditor enabled is
+// byte-identical to the same run without it. A nil *Auditor is the
+// zero-cost disabled state, mirroring the obs bus pattern.
+//
+// The same invariant checks double as the oracle of the package's fuzz
+// targets: randomized partition/fragment/migration op sequences are
+// valid exactly when the checks hold after every step.
+package audit
+
+import (
+	"fmt"
+
+	"repro/internal/client"
+	"repro/internal/mds"
+	"repro/internal/namespace"
+)
+
+// Violation is one invariant failure found by an audit pass.
+type Violation struct {
+	Tick  int64  // tick the failing pass ran at
+	Check string // invariant family, e.g. "partition/authority"
+	Msg   string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("tick %d: %s: %s", v.Tick, v.Check, v.Msg)
+}
+
+// Options configures an Auditor.
+type Options struct {
+	// EveryTick runs the audit on every tick instead of only at epoch
+	// close. Epoch cadence catches everything eventually; tick cadence
+	// pins a violation to the tick that introduced it.
+	EveryTick bool
+	// ResolveSamples is how many inodes each pass cross-checks between
+	// the resolver cache and a fresh ancestor walk (0 = default 64).
+	// Sampling is a deterministic stride that rotates with the pass
+	// counter, so repeated passes cover different inodes without RNG.
+	ResolveSamples int
+	// MaxViolations caps the retained violations (0 = default 100);
+	// checks keep running after the cap but stop recording.
+	MaxViolations int
+	// OnViolation, when set, is called for each violation as it is
+	// found (e.g. to fail a test immediately with context).
+	OnViolation func(Violation)
+}
+
+// Auditor runs invariant checks over cluster state. The zero value is
+// not useful; construct with New. A nil *Auditor is valid and disabled:
+// every method is nil-receiver-safe.
+type Auditor struct {
+	opt        Options
+	passes     int64
+	violations []Violation
+}
+
+// New creates an auditor. Zero option fields take their defaults.
+func New(opt Options) *Auditor {
+	if opt.ResolveSamples <= 0 {
+		opt.ResolveSamples = 64
+	}
+	if opt.MaxViolations <= 0 {
+		opt.MaxViolations = 100
+	}
+	return &Auditor{opt: opt}
+}
+
+// EveryTick reports whether the auditor wants tick cadence. Nil-safe.
+func (a *Auditor) EveryTick() bool { return a != nil && a.opt.EveryTick }
+
+// Passes returns how many audit passes have run. Nil-safe.
+func (a *Auditor) Passes() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.passes
+}
+
+// Violations returns the recorded violations (shared slice). Nil-safe.
+func (a *Auditor) Violations() []Violation {
+	if a == nil {
+		return nil
+	}
+	return a.violations
+}
+
+// Err returns nil when no invariant has been violated, and otherwise an
+// error summarizing the first violation and the total count. Nil-safe,
+// so callers can unconditionally check cfg.Audit.Err() after a run.
+func (a *Auditor) Err() error {
+	if a == nil || len(a.violations) == 0 {
+		return nil
+	}
+	return fmt.Errorf("audit: %d invariant violation(s), first: %s",
+		len(a.violations), a.violations[0])
+}
+
+func (a *Auditor) failf(tick int64, check, format string, args ...any) {
+	v := Violation{Tick: tick, Check: check, Msg: fmt.Sprintf(format, args...)}
+	if len(a.violations) < a.opt.MaxViolations {
+		a.violations = append(a.violations, v)
+	}
+	if a.opt.OnViolation != nil {
+		a.opt.OnViolation(v)
+	}
+}
+
+// State is the read-only snapshot of one audit pass. Tree, Partition,
+// Migrator, Servers, and Clients are required; the rest degrade
+// gracefully: a nil Resolver skips the cache check, a nil Orphaned
+// treats no rank as orphan-tracked.
+type State struct {
+	Tick      int64
+	Tree      *namespace.Tree
+	Partition *namespace.Partition
+	Resolver  *namespace.Resolver
+	Migrator  *mds.Migrator
+	Servers   []*mds.Server
+	Clients   []*client.Client
+	// Orphaned reports whether a rank is down with its subtrees still
+	// tracked for takeover (such entries legitimately point at a dead
+	// rank during the recovery window).
+	Orphaned func(namespace.MDSID) bool
+	// Forwards is the cluster's cumulative forwarded-hop counter.
+	Forwards int64
+	// RacedCreates counts create ops completed without an MDS serve
+	// because the name raced into existence (the one legitimate gap
+	// between client ops-done and server ops-served).
+	RacedCreates int64
+}
+
+// Check runs every invariant over the state and returns how many new
+// violations this pass found. Nil-safe (a nil auditor checks nothing).
+func (a *Auditor) Check(s State) int {
+	if a == nil {
+		return 0
+	}
+	before := len(a.violations)
+	a.passes++
+	a.checkPartition(s)
+	a.checkResolver(s)
+	a.checkFrozen(s)
+	a.checkMigratorCounters(s)
+	a.checkClients(s)
+	a.checkHeat(s)
+	a.checkOps(s)
+	return len(a.violations) - before
+}
+
+// checkPartition validates partition structure (per-directory fragment
+// entries sorted and disjoint, rooted at live directories), authority
+// liveness (every entry's rank is in range and up or orphan-tracked),
+// and governed-inode conservation (per-entry counts are non-negative
+// and sum to the tree's total).
+func (a *Auditor) checkPartition(s State) {
+	for _, v := range CheckPartition(s.Tree, s.Partition) {
+		v.Tick = s.Tick
+		if len(a.violations) < a.opt.MaxViolations {
+			a.violations = append(a.violations, v)
+		}
+		if a.opt.OnViolation != nil {
+			a.opt.OnViolation(v)
+		}
+	}
+	orphaned := s.Orphaned
+	if orphaned == nil {
+		orphaned = func(namespace.MDSID) bool { return false }
+	}
+	for _, e := range s.Partition.Entries() {
+		if int(e.Auth) < 0 || int(e.Auth) >= len(s.Servers) {
+			a.failf(s.Tick, "partition/authority",
+				"entry %v/%s authority %d out of range [0,%d)",
+				e.Key.Dir, e.Key.Frag, e.Auth, len(s.Servers))
+			continue
+		}
+		if !s.Servers[e.Auth].Up() && !orphaned(e.Auth) {
+			a.failf(s.Tick, "partition/authority",
+				"entry %v/%s owned by rank %d, which is down and not orphan-tracked",
+				e.Key.Dir, e.Key.Frag, e.Auth)
+		}
+	}
+}
+
+// checkResolver cross-checks a deterministic sample of inodes between
+// the version-cached resolver and a fresh GoverningEntry walk. Reading
+// the resolver fills its cache, which is semantically invisible (the
+// resolve-cache differential test is the proof), so the audit stays
+// observably read-only.
+func (a *Auditor) checkResolver(s State) {
+	if s.Resolver == nil {
+		return
+	}
+	maxIno := s.Tree.MaxIno()
+	if maxIno < namespace.RootIno {
+		return
+	}
+	n := int64(maxIno-namespace.RootIno) + 1
+	stride := n / int64(a.opt.ResolveSamples)
+	if stride < 1 {
+		stride = 1
+	}
+	// Rotate the sample window with the pass counter so successive
+	// passes cover different inodes — deterministically, without RNG.
+	offset := a.passes % stride
+	for i := int64(namespace.RootIno) + offset; i <= int64(maxIno); i += stride {
+		in := s.Tree.Get(namespace.Ino(i))
+		if in == nil {
+			continue
+		}
+		got := s.Resolver.Entry(in)
+		want := s.Partition.GoverningEntry(in)
+		if got != want {
+			a.failf(s.Tick, "resolver/agreement",
+				"ino %d: cached entry %v/%s@%d, fresh walk %v/%s@%d",
+				i, got.Key.Dir, got.Key.Frag, got.Auth,
+				want.Key.Dir, want.Key.Frag, want.Auth)
+		}
+	}
+}
+
+// checkFrozen validates that the migrator's frozen set is exactly the
+// set of active tasks inside their commit windows, and that no two
+// active tasks target the same subtree entry.
+func (a *Auditor) checkFrozen(s State) {
+	for _, v := range CheckMigrator(s.Migrator, s.Tick) {
+		v.Tick = s.Tick
+		if len(a.violations) < a.opt.MaxViolations {
+			a.violations = append(a.violations, v)
+		}
+		if a.opt.OnViolation != nil {
+			a.opt.OnViolation(v)
+		}
+	}
+}
+
+// checkMigratorCounters reconciles the lifecycle counters: every
+// submitted task is queued, active, completed, dropped, or aborted.
+func (a *Auditor) checkMigratorCounters(s State) {
+	m := s.Migrator
+	sum := int64(m.QueuedTasks()) + int64(m.ActiveTasks()) +
+		m.CompletedTasks() + m.DroppedTasks() + m.AbortedTasks()
+	if m.SubmittedTasks() != sum {
+		a.failf(s.Tick, "migrator/counters",
+			"submitted %d != queued %d + active %d + completed %d + dropped %d + aborted %d",
+			m.SubmittedTasks(), m.QueuedTasks(), m.ActiveTasks(),
+			m.CompletedTasks(), m.DroppedTasks(), m.AbortedTasks())
+	}
+}
+
+// checkClients validates per-client bounds: non-negative data debt,
+// backoff within the exponential cap, retry deadlines inside the
+// reachable window, and the credit accumulator within one tick's rate.
+func (a *Auditor) checkClients(s State) {
+	for _, cl := range s.Clients {
+		if cl.Debt() < 0 {
+			a.failf(s.Tick, "client/bounds", "client %d: negative debt %d", cl.ID, cl.Debt())
+		}
+		if cl.Backoff() < 0 || cl.Backoff() > client.MaxBackoffTicks {
+			a.failf(s.Tick, "client/bounds",
+				"client %d: backoff %d outside [0,%d]", cl.ID, cl.Backoff(), client.MaxBackoffTicks)
+		}
+		if cl.RetryAt() > s.Tick+client.MaxBackoffTicks {
+			a.failf(s.Tick, "client/bounds",
+				"client %d: retry-at %d beyond tick %d + max backoff %d",
+				cl.ID, cl.RetryAt(), s.Tick, client.MaxBackoffTicks)
+		}
+		maxCredit := cl.Rate()
+		if maxCredit < 1 {
+			maxCredit = 1
+		}
+		if cr := cl.Credit(); cr < 0 || cr > maxCredit {
+			a.failf(s.Tick, "client/bounds",
+				"client %d: credit %g outside [0,%g]", cl.ID, cr, maxCredit)
+		}
+	}
+}
+
+// checkHeat validates that no decayed popularity counter reads
+// negative on any server (heat only ever accumulates accesses and
+// decays multiplicatively toward zero).
+func (a *Auditor) checkHeat(s State) {
+	for _, srv := range s.Servers {
+		if h := srv.MinHeat(); h < 0 {
+			a.failf(s.Tick, "server/heat", "rank %d: negative heat %g", srv.ID, h)
+		}
+	}
+}
+
+// checkOps validates ops conservation. Per client: every op drawn from
+// the stream is either completed or still pending. Across the cluster:
+// every completed client op was served by exactly one MDS, except
+// creates that raced into existence (accounted by RacedCreates).
+// Forwarding units charged at relay ranks never exceed the cluster's
+// forwarded-hop count (a saturated relay is counted as a hop but
+// cannot be charged).
+func (a *Auditor) checkOps(s State) {
+	var done int64
+	for _, cl := range s.Clients {
+		issued, pending := cl.Issued(), int64(0)
+		if cl.HasPending() {
+			pending = 1
+		}
+		if issued != cl.OpsDone()+pending {
+			a.failf(s.Tick, "ops/conservation",
+				"client %d: issued %d != done %d + pending %d",
+				cl.ID, issued, cl.OpsDone(), pending)
+		}
+		done += cl.OpsDone()
+	}
+	var served, fwd int64
+	for _, srv := range s.Servers {
+		served += srv.OpsTotal()
+		fwd += srv.Forwards()
+	}
+	if done != served+s.RacedCreates {
+		a.failf(s.Tick, "ops/conservation",
+			"client ops done %d != server ops served %d + raced creates %d",
+			done, served, s.RacedCreates)
+	}
+	if fwd > s.Forwards {
+		a.failf(s.Tick, "ops/forwards",
+			"forwarding units charged at ranks %d exceed cluster forwards %d", fwd, s.Forwards)
+	}
+}
+
+// fragStart mirrors the partition's ordering key: the first 32-bit hash
+// a fragment covers.
+func fragStart(f namespace.Frag) uint32 {
+	if f.Bits == 0 {
+		return 0
+	}
+	return f.Value << (32 - uint32(f.Bits))
+}
+
+// fragSpan returns the fragment's hash range as [start, end] in uint64
+// (end inclusive; uint64 avoids overflow for the whole fragment).
+func fragSpan(f namespace.Frag) (uint64, uint64) {
+	start := uint64(fragStart(f))
+	width := uint64(1) << (32 - uint64(f.Bits))
+	return start, start + width - 1
+}
+
+// CheckPartition validates partition structure and inode conservation
+// against the tree, independent of any cluster: every entry is rooted
+// at a live directory; the fragment entries of each directory are
+// disjoint; per-entry governed-inode counts are non-negative and sum
+// to the tree's total. It is the shared oracle of FuzzPartitionOps and
+// FuzzFragSplitMerge. Violations carry no tick.
+func CheckPartition(tree *namespace.Tree, part *namespace.Partition) []Violation {
+	var out []Violation
+	fail := func(check, format string, args ...any) {
+		out = append(out, Violation{Check: check, Msg: fmt.Sprintf(format, args...)})
+	}
+
+	entries := part.Entries()
+	if len(entries) != part.NumEntries() {
+		fail("partition/structure", "NumEntries %d != len(Entries()) %d",
+			part.NumEntries(), len(entries))
+	}
+	rootSeen := false
+	// Entries() sorts by (dir, bits, value); regroup by directory and
+	// verify each group's fragments are pairwise disjoint by span.
+	byDir := make(map[namespace.Ino][]namespace.Entry)
+	for _, e := range entries {
+		byDir[e.Key.Dir] = append(byDir[e.Key.Dir], e)
+		if e.Key.Dir == namespace.RootIno {
+			rootSeen = true
+		}
+		dir := tree.Get(e.Key.Dir)
+		if dir == nil {
+			fail("partition/structure", "entry %v/%s rooted at missing inode", e.Key.Dir, e.Key.Frag)
+			continue
+		}
+		if !dir.IsDir {
+			fail("partition/structure", "entry %v/%s rooted at a file", e.Key.Dir, e.Key.Frag)
+		}
+	}
+	if !rootSeen {
+		fail("partition/structure", "no entry rooted at the root directory")
+	}
+	for dir, es := range byDir {
+		for i := 0; i < len(es); i++ {
+			si, ei := fragSpan(es[i].Key.Frag)
+			for j := i + 1; j < len(es); j++ {
+				sj, ej := fragSpan(es[j].Key.Frag)
+				if si <= ej && sj <= ei {
+					fail("partition/structure",
+						"dir %v: fragments %s and %s overlap",
+						dir, es[i].Key.Frag, es[j].Key.Frag)
+				}
+			}
+		}
+	}
+
+	sizes := part.SubtreeSizes()
+	sum := 0
+	for key, n := range sizes {
+		if n < 0 {
+			fail("partition/inodes", "entry %v/%s governs negative inode count %d",
+				key.Dir, key.Frag, n)
+		}
+		sum += n
+	}
+	if sum != tree.NumInodes() {
+		fail("partition/inodes", "governed inodes sum %d != tree total %d",
+			sum, tree.NumInodes())
+	}
+	return out
+}
+
+// CheckMigrator validates the migration engine's freeze-window
+// invariant at the given tick: the frozen set is exactly the active
+// tasks inside their commit windows, and no subtree entry is targeted
+// by two active tasks. It is the shared oracle of
+// FuzzMigratorLifecycle. Violations carry no tick (the caller stamps).
+func CheckMigrator(m *mds.Migrator, tick int64) []Violation {
+	var out []Violation
+	fail := func(check, format string, args ...any) {
+		out = append(out, Violation{Check: check, Msg: fmt.Sprintf(format, args...)})
+	}
+	want := make(map[namespace.FragKey]bool)
+	m.ForEachActive(func(t *mds.ExportTask) {
+		if t.State != mds.TaskActive {
+			fail("migrator/frozen", "task %v/%s in active set with state %d",
+				t.Key.Dir, t.Key.Frag, t.State)
+		}
+		if want[t.Key] {
+			fail("migrator/frozen", "two active tasks target entry %v/%s",
+				t.Key.Dir, t.Key.Frag)
+		}
+		if t.DoneTick-tick <= m.FreezeTicks {
+			want[t.Key] = true
+		}
+	})
+	frozen := m.FrozenKeys()
+	for _, k := range frozen {
+		if !want[k] {
+			fail("migrator/frozen", "entry %v/%s frozen without an active commit window",
+				k.Dir, k.Frag)
+		}
+		delete(want, k)
+	}
+	for k := range want {
+		fail("migrator/frozen", "active task %v/%s inside its commit window but not frozen",
+			k.Dir, k.Frag)
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package audit
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/mds"
+	"repro/internal/namespace"
+)
+
+// fixture builds a small namespace with a partition, migrator, and n
+// servers: /a, /b, /c each hold 8 files, and /a additionally holds two
+// subdirectories of 4 files each.
+func fixture(t testing.TB, n int) (*namespace.Tree, *namespace.Partition, *mds.Migrator, []*mds.Server) {
+	t.Helper()
+	tree := namespace.NewTree()
+	for _, name := range []string{"/a", "/b", "/c"} {
+		dir, err := tree.MkdirAll(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for f := 0; f < 8; f++ {
+			if _, err := tree.Create(dir, fmt.Sprintf("f%d", f), 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	a, err := tree.Lookup("/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 2; s++ {
+		sub, err := tree.Mkdir(a, fmt.Sprintf("s%d", s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for f := 0; f < 4; f++ {
+			if _, err := tree.Create(sub, fmt.Sprintf("f%d", f), 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	part := namespace.NewPartition(tree, 0)
+	mig := mds.NewMigrator(part, 100, 2, 20)
+	var servers []*mds.Server
+	for i := 0; i < n; i++ {
+		servers = append(servers, mds.NewServer(namespace.MDSID(i), 2000, 6, 0.9))
+	}
+	return tree, part, mig, servers
+}
+
+func mustDir(t testing.TB, tree *namespace.Tree, path string) *namespace.Inode {
+	t.Helper()
+	in, err := tree.Lookup(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestAuditorHealthyState(t *testing.T) {
+	tree, part, mig, servers := fixture(t, 2)
+	part.Carve(mustDir(t, tree, "/b"))
+	a := New(Options{ResolveSamples: 16})
+	state := State{
+		Tick: 5, Tree: tree, Partition: part,
+		Resolver: namespace.NewResolver(part),
+		Migrator: mig, Servers: servers,
+	}
+	if n := a.Check(state); n != 0 {
+		t.Fatalf("healthy state produced %d violations: %v", n, a.Violations())
+	}
+	if a.Passes() != 1 {
+		t.Fatalf("passes = %d, want 1", a.Passes())
+	}
+	if err := a.Err(); err != nil {
+		t.Fatalf("Err() = %v, want nil", err)
+	}
+}
+
+func TestAuditorFlagsDownAuthority(t *testing.T) {
+	tree, part, mig, servers := fixture(t, 2)
+	e := part.Carve(mustDir(t, tree, "/b"))
+	part.SetAuth(e.Key, 1)
+	servers[1].Crash()
+
+	var seen []Violation
+	a := New(Options{OnViolation: func(v Violation) { seen = append(seen, v) }})
+	state := State{Tick: 9, Tree: tree, Partition: part, Migrator: mig, Servers: servers}
+	if n := a.Check(state); n != 1 {
+		t.Fatalf("violations = %d, want 1: %v", n, a.Violations())
+	}
+	v := a.Violations()[0]
+	if v.Check != "partition/authority" || v.Tick != 9 {
+		t.Fatalf("violation = %+v", v)
+	}
+	if !strings.Contains(v.String(), "down and not orphan-tracked") {
+		t.Fatalf("violation message = %q", v.String())
+	}
+	if len(seen) != 1 {
+		t.Fatalf("OnViolation fired %d times, want 1", len(seen))
+	}
+	if err := a.Err(); err == nil || !strings.Contains(err.Error(), "1 invariant violation") {
+		t.Fatalf("Err() = %v", err)
+	}
+
+	// The same entry is legitimate while its rank is orphan-tracked
+	// during a recovery window.
+	b := New(Options{})
+	state.Orphaned = func(id namespace.MDSID) bool { return id == 1 }
+	if n := b.Check(state); n != 0 {
+		t.Fatalf("orphan-tracked authority flagged: %v", b.Violations())
+	}
+}
+
+func TestAuditorFlagsOutOfRangeAuthority(t *testing.T) {
+	tree, part, mig, servers := fixture(t, 2)
+	e := part.Carve(mustDir(t, tree, "/c"))
+	part.SetAuth(e.Key, 7) // no rank 7 in a 2-MDS cluster
+
+	a := New(Options{})
+	if n := a.Check(State{Tree: tree, Partition: part, Migrator: mig, Servers: servers}); n != 1 {
+		t.Fatalf("violations = %d, want 1: %v", n, a.Violations())
+	}
+	if got := a.Violations()[0].Check; got != "partition/authority" {
+		t.Fatalf("check = %q", got)
+	}
+}
+
+func TestAuditorMaxViolationsCap(t *testing.T) {
+	tree, part, mig, servers := fixture(t, 2)
+	for _, p := range []string{"/a", "/b", "/c"} {
+		e := part.Carve(mustDir(t, tree, p))
+		part.SetAuth(e.Key, 1)
+	}
+	servers[1].Crash()
+
+	fired := 0
+	a := New(Options{MaxViolations: 1, OnViolation: func(Violation) { fired++ }})
+	a.Check(State{Tree: tree, Partition: part, Migrator: mig, Servers: servers})
+	if len(a.Violations()) != 1 {
+		t.Fatalf("recorded %d violations, cap is 1", len(a.Violations()))
+	}
+	if fired != 3 {
+		t.Fatalf("OnViolation fired %d times, want all 3 past the cap", fired)
+	}
+}
+
+func TestNilAuditorIsDisabled(t *testing.T) {
+	var a *Auditor
+	if a.EveryTick() || a.Passes() != 0 || a.Violations() != nil || a.Err() != nil {
+		t.Fatal("nil auditor leaked state")
+	}
+	if n := a.Check(State{}); n != 0 {
+		t.Fatalf("nil auditor checked something: %d", n)
+	}
+}
+
+func TestCheckPartitionCleanOnFreshTree(t *testing.T) {
+	tree, part, _, _ := fixture(t, 1)
+	if vs := CheckPartition(tree, part); len(vs) != 0 {
+		t.Fatalf("fresh partition flagged: %v", vs)
+	}
+	part.Carve(mustDir(t, tree, "/a"))
+	e := part.Carve(mustDir(t, tree, "/b"))
+	if _, _, ok := part.SplitEntry(e.Key); !ok {
+		t.Fatal("split refused")
+	}
+	if vs := CheckPartition(tree, part); len(vs) != 0 {
+		t.Fatalf("carved+split partition flagged: %v", vs)
+	}
+}

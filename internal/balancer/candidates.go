@@ -49,8 +49,18 @@ func Enumerate(v View, exporter namespace.MDSID, lf LoadFuncs, refineAbove float
 	skip := v.Migrator().PendingFor(exporter)
 	tree := part.Tree()
 
-	var cands []Candidate
-	add := func(c Candidate) { cands = append(cands, c) }
+	// enumCand decorates a candidate with its memoized refinable
+	// children. Enumerate never mutates the partition or the tree, so a
+	// candidate's child set is fixed for the whole call; without the
+	// memo every pick iteration re-scans the children of every
+	// unrefinable heavy candidate — O(picks × candidates × children).
+	type enumCand struct {
+		Candidate
+		kids      []*namespace.Inode
+		kidsKnown bool
+	}
+	var cands []enumCand
+	add := func(c Candidate) { cands = append(cands, enumCand{Candidate: c}) }
 
 	// childDirs lists the sub-directories inside a candidate that are
 	// not already subtree roots of their own.
@@ -79,24 +89,33 @@ func Enumerate(v View, exporter namespace.MDSID, lf LoadFuncs, refineAbove float
 		add(Candidate{Key: e.Key, IsEntry: true, Load: lf.OfKey(e.Key)})
 	}
 
-	// Adaptive refinement: break the heaviest refinable candidate into
-	// its child directories until everything is small enough.
-	for len(cands) < limit {
-		best := -1
-		for i, c := range cands {
-			if c.Load <= refineAbove {
-				continue
-			}
+	// kidsOf resolves a candidate's refinable children once and caches
+	// them for the rest of the call.
+	kidsOf := func(c *enumCand) []*namespace.Inode {
+		if !c.kidsKnown {
+			c.kidsKnown = true
 			var dir *namespace.Inode
-			var frag namespace.Frag
+			frag := namespace.WholeFrag
 			if c.IsEntry {
 				dir = tree.Get(c.Key.Dir)
 				frag = c.Key.Frag
 			} else {
 				dir = c.Dir
-				frag = namespace.WholeFrag
 			}
-			if dir == nil || len(childDirs(dir, frag)) == 0 {
+			if dir != nil {
+				c.kids = childDirs(dir, frag)
+			}
+		}
+		return c.kids
+	}
+
+	// Adaptive refinement: break the heaviest refinable candidate into
+	// its child directories until everything is small enough.
+	for len(cands) < limit {
+		best := -1
+		for i := range cands {
+			c := &cands[i]
+			if c.Load <= refineAbove || len(kidsOf(c)) == 0 {
 				continue
 			}
 			if best == -1 || c.Load > cands[best].Load {
@@ -106,29 +125,24 @@ func Enumerate(v View, exporter namespace.MDSID, lf LoadFuncs, refineAbove float
 		if best == -1 {
 			break
 		}
-		c := cands[best]
-		var dir *namespace.Inode
-		var frag namespace.Frag
-		if c.IsEntry {
-			dir = tree.Get(c.Key.Dir)
-			frag = c.Key.Frag
-		} else {
-			dir = c.Dir
-			frag = namespace.WholeFrag
-		}
+		kids := cands[best].kids
 		cands = append(cands[:best], cands[best+1:]...)
-		for _, ch := range childDirs(dir, frag) {
+		for _, ch := range kids {
 			add(Candidate{Dir: ch, Load: lf.OfDir(ch)})
 		}
 	}
 
-	sort.SliceStable(cands, func(i, j int) bool {
-		if cands[i].Load != cands[j].Load {
-			return cands[i].Load > cands[j].Load
+	out := make([]Candidate, len(cands))
+	for i := range cands {
+		out[i] = cands[i].Candidate
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Load != out[j].Load {
+			return out[i].Load > out[j].Load
 		}
-		return cands[i].RootDir() < cands[j].RootDir()
+		return out[i].RootDir() < out[j].RootDir()
 	})
-	return cands
+	return out
 }
 
 // SubmitCandidate carves the candidate if necessary and enqueues its

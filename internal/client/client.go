@@ -32,6 +32,7 @@ type Client struct {
 	streamDone bool
 	done       bool
 	doneTick   int64
+	issued     int64 // ops drawn from the stream (completed or pending)
 	opsDone    int64
 	stallTicks int64
 
@@ -190,8 +191,25 @@ func (c *Client) NextOp(tick int64) (workload.Op, bool) {
 	c.pending = op
 	c.hasPending = true
 	c.pendingSince = tick
+	c.issued++
 	return op, true
 }
+
+// Issued returns how many ops the client has drawn from its stream.
+// Every issued op is either completed or the current pending op — the
+// conservation law the state auditor checks.
+func (c *Client) Issued() int64 { return c.issued }
+
+// HasPending reports whether the client holds an issued-but-unserved op.
+func (c *Client) HasPending() bool { return c.hasPending }
+
+// Credit returns the fractional-op accumulator (bounded by one tick's
+// rate; see AccrueCredit).
+func (c *Client) Credit() float64 { return c.credit }
+
+// RetryAt returns the earliest tick the pending op may be re-attempted
+// (0 when the client is not backing off).
+func (c *Client) RetryAt() int64 { return c.retryAt }
 
 // Retain records that the current op stalled and must be retried. The
 // retry happens on the next tick (a saturated or frozen target usually

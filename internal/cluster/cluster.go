@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/audit"
 	"repro/internal/balancer"
 	"repro/internal/client"
 	"repro/internal/core"
@@ -87,6 +88,12 @@ type Config struct {
 	// Partition.Version on every mutation), so this knob exists only
 	// for the differential tests that prove it.
 	DisableResolveCache bool
+	// Audit optionally attaches a state auditor that validates
+	// cross-module invariants at every epoch close (or every tick; see
+	// audit.Options.EveryTick). Like the Bus, nil disables auditing at
+	// zero cost, and the auditor is strictly read-only: the same seed
+	// produces a byte-identical run with auditing on or off.
+	Audit *audit.Auditor
 }
 
 func (c *Config) defaults() {
@@ -156,6 +163,15 @@ type Cluster struct {
 	tick     int64
 	forwards int64
 	doneN    int
+	// racedCreates counts create ops completed without an MDS serve
+	// because the name raced into existence; the auditor's ops-
+	// conservation check needs it to reconcile client and server totals.
+	racedCreates int64
+
+	auditor *audit.Auditor
+	// orphanFn is the Orphaned closure handed to every audit pass,
+	// built once so the audited tick loop does not allocate it.
+	orphanFn func(namespace.MDSID) bool
 
 	// Reusable per-tick scratch, so the steady-state tick loop does not
 	// allocate: the client service order, the per-MDS op sample, the
@@ -167,10 +183,13 @@ type Cluster struct {
 	chainBuf  []namespace.MDSID
 
 	// Fault state: which ranks are crashed-and-unreassigned, when each
-	// currently-down rank crashed, and the cumulative fault counters
-	// the recorder samples each tick.
+	// currently-down rank crashed, each down rank's last load reading
+	// from before the crash (the takeover's load-share basis — by
+	// takeover time the dead rank has recorded only zero-load epochs),
+	// and the cumulative fault counters the recorder samples each tick.
 	orphaned        map[namespace.MDSID]bool
 	crashTick       map[namespace.MDSID]int64
+	crashLoad       map[namespace.MDSID]float64
 	stalledDown     int64
 	recoveryTickSum int64
 	capacityClamps  int64
@@ -211,7 +230,10 @@ func New(cfg Config) (*Cluster, error) {
 		bus:       cfg.Bus,
 		orphaned:  make(map[namespace.MDSID]bool),
 		crashTick: make(map[namespace.MDSID]int64),
+		crashLoad: make(map[namespace.MDSID]float64),
+		auditor:   cfg.Audit,
 	}
+	cl.orphanFn = func(id namespace.MDSID) bool { return cl.orphaned[id] }
 	if !cfg.DisableResolveCache {
 		cl.resolver = namespace.NewResolver(part)
 	}
@@ -347,6 +369,10 @@ func (c *Cluster) CrashMDS(rank int) bool {
 		return false
 	}
 	id := namespace.MDSID(rank)
+	// Stamp the load reading before Crash: by takeover time the down
+	// rank has recorded only zero-load epochs, so this pre-crash value
+	// is the takeover's only usable load-share basis.
+	c.crashLoad[id] = c.servers[rank].CurrentLoad()
 	c.servers[rank].Crash()
 	aborted := c.migrator.AbortRank(id)
 	c.orphaned[id] = true
@@ -401,6 +427,7 @@ func (c *Cluster) RecoverMDS(rank int) bool {
 	c.servers[rank].Rejoin()
 	delete(c.orphaned, id)
 	delete(c.crashTick, id)
+	delete(c.crashLoad, id)
 	for _, cl := range c.clients {
 		if cl.Backoff() > 0 {
 			cl.ClearBackoff()
@@ -492,9 +519,14 @@ func (c *Cluster) reassignOrphans(dead namespace.MDSID, crashedAt int64) {
 		c.events.Schedule(c.tick+1, func() { c.reassignOrphans(dead, crashedAt) })
 		return
 	}
-	// The dead rank's last known load, spread evenly across its
-	// entries, approximates what each takeover adds to a survivor.
-	share := c.servers[dead].CurrentLoad() / float64(len(entries))
+	// The dead rank's last load reading from before the crash, spread
+	// evenly across its entries, approximates what each takeover adds
+	// to a survivor. Reading CurrentLoad() here instead would see only
+	// the zero-load epochs recorded while the rank was down
+	// (RecoveryTicks exceeds an epoch), collapsing the load-weighted
+	// spread to uniform shares of 1 — the exact "one idle survivor
+	// swallows the whole dead rank" failure this spread exists to avoid.
+	share := c.crashLoad[dead] / float64(len(entries))
 	if share <= 0 {
 		share = 1
 	}
@@ -523,6 +555,7 @@ func (c *Cluster) reassignOrphans(dead namespace.MDSID, crashedAt int64) {
 	}
 	delete(c.orphaned, dead)
 	delete(c.crashTick, dead)
+	delete(c.crashLoad, dead)
 }
 
 // AddMDS immediately grows the cluster by one server and returns it.
@@ -573,8 +606,28 @@ func (c *Cluster) Step() {
 	if (tick+1)%int64(c.cfg.EpochTicks) == 0 {
 		c.endEpoch(tick, epoch)
 	}
+	if c.auditor != nil &&
+		(c.auditor.EveryTick() || (tick+1)%int64(c.cfg.EpochTicks) == 0) {
+		c.auditor.Check(audit.State{
+			Tick:         tick,
+			Tree:         c.tree,
+			Partition:    c.part,
+			Resolver:     c.resolver,
+			Migrator:     c.migrator,
+			Servers:      c.servers,
+			Clients:      c.clients,
+			Orphaned:     c.orphanFn,
+			Forwards:     c.forwards,
+			RacedCreates: c.racedCreates,
+		})
+	}
 	c.tick++
 }
+
+// Auditor returns the attached state auditor (nil when auditing is
+// disabled). The returned value is nil-safe: Err(), Passes(), and
+// Violations() work on a nil auditor.
+func (c *Cluster) Auditor() *audit.Auditor { return c.auditor }
 
 func (c *Cluster) stepClient(cl *client.Client, tick, epoch int64) {
 	if cl.Done() || tick < cl.StartTick() {
@@ -661,6 +714,9 @@ func (c *Cluster) execute(cl *client.Client, op workload.Op, epoch int64) execSt
 			in, err := c.tree.Create(op.Parent, op.Name, op.Size)
 			if err != nil {
 				// Name raced into existence or invalid: treat as served.
+				// No MDS serves the op, so count it for the auditor's
+				// ops-conservation reconciliation.
+				c.racedCreates++
 				return execOK
 			}
 			target = in

@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/namespace"
+	"repro/internal/workload"
+)
+
+// TestTakeoverUsesCrashTimeLoad is the regression test for the failover
+// load-share bug: a down rank records only zero-load epochs, so reading
+// its CurrentLoad() at takeover time (RecoveryTicks later, past at
+// least one epoch close) yields 0 and the documented load-weighted
+// spread collapses to uniform shares of 1 — letting one idle survivor
+// swallow every orphaned entry. The takeover must instead use the load
+// stamped at crash time.
+//
+// Scenario: rank 2 carries 12 pinned client dirs (~1800 ops/s), rank 0
+// carries the remaining 4 clients via the root entry (~600 ops/s), and
+// rank 1 is idle. Rank 2 crashes with a recovery window longer than an
+// epoch. With the crash-time load (1800/12 = 150 per entry) the idle
+// rank 1 fills up to rank 0's level after a few takeovers and the rest
+// spill to rank 0. With the stale zero load (share = 1) rank 1 absorbs
+// all 12 entries and rank 0 gets none.
+func TestTakeoverUsesCrashTimeLoad(t *testing.T) {
+	const (
+		pinned   = 12
+		clients  = 16
+		window   = 25 // > 2 epoch closes while down
+		crashAt  = 30
+		doomed   = 2
+		survivor = 0 // the loaded survivor that must still receive entries
+		idle     = 1
+	)
+	c := newTestCluster(t, Config{
+		MDS:           3,
+		Clients:       clients,
+		RecoveryTicks: window,
+		Balancer:      nullBalancer{}, // no migrations: only the takeover moves entries
+		Workload: workload.NewZipf(workload.ZipfConfig{
+			FilesPerClient: 200,
+			OpsPerClient:   30000,
+		}),
+	})
+	var pinnedDirs []namespace.Ino
+	for i := 0; i < pinned; i++ {
+		path := fmt.Sprintf("/zipf/client%03d", i)
+		if err := c.PinPath(path, doomed); err != nil {
+			t.Fatal(err)
+		}
+		in, err := c.Tree().Lookup(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pinnedDirs = append(pinnedDirs, in.Ino)
+	}
+
+	c.Run(crashAt)
+	if load := c.Servers()[doomed].CurrentLoad(); load < 1000 {
+		t.Fatalf("scenario setup broken: doomed rank load %.0f, want well above rank %d's", load, survivor)
+	}
+	if !c.CrashMDS(doomed) {
+		t.Fatalf("crash of rank %d refused", doomed)
+	}
+	// Run past the recovery window; the dead rank records zero-load
+	// epochs the whole time, which is exactly what the takeover must
+	// not read as its load estimate.
+	c.Run(window + 2)
+
+	if got := len(c.Partition().EntriesOf(doomed)); got != 0 {
+		t.Fatalf("%d entries still owned by the dead rank after the window", got)
+	}
+	perRank := make(map[namespace.MDSID]int)
+	for _, ino := range pinnedDirs {
+		e, ok := c.Partition().EntryAt(namespace.FragKey{Dir: ino, Frag: namespace.WholeFrag})
+		if !ok {
+			t.Fatalf("pinned entry for ino %d vanished", ino)
+		}
+		perRank[e.Auth]++
+	}
+	if perRank[survivor] == 0 {
+		t.Fatalf("loaded survivor %d received no orphaned entries (idle rank took %d of %d): "+
+			"takeover used the down rank's zero post-crash load instead of its crash-time load",
+			survivor, perRank[idle], pinned)
+	}
+	if perRank[idle] == 0 {
+		t.Fatalf("idle rank %d received no orphaned entries; spread is broken the other way", idle)
+	}
+	if perRank[idle] <= perRank[survivor] {
+		t.Errorf("idle rank should absorb more than the loaded survivor: idle %d, survivor %d",
+			perRank[idle], perRank[survivor])
+	}
+	if got := len(c.Metrics().RecoveryEvents()); got != 1 {
+		t.Fatalf("want exactly 1 recovery event, got %d", got)
+	}
+}

@@ -46,12 +46,16 @@ func runAblation(opt Options) (*Result, error) {
 			Workload: workload.NewZipf(workload.ZipfConfig{
 				OpsPerClient: scaledMin(8000, opt.Scale, 6000),
 			}),
-			Seed: opt.Seed,
+			Seed:  opt.Seed,
+			Audit: opt.auditor(),
 		})
 		if err != nil {
 			return nil, err
 		}
 		c.Run(150)
+		if err := auditErr(c); err != nil {
+			return nil, err
+		}
 		res.Table.Add(ab.name, "light load (benign skew)", "rebalances", fmt.Sprint(lun.Rebalances()))
 		res.val("urgency/"+ab.name+".rebalances", float64(lun.Rebalances()))
 		res.val("urgency/"+ab.name+".migrated", c.Metrics().MigratedTotal())

@@ -30,7 +30,8 @@ func runFig12a(opt Options) (*Result, error) {
 		Workload: workload.NewZipf(workload.ZipfConfig{
 			OpsPerClient: scaledMin(60000, opt.Scale, 45000),
 		}),
-		Seed: opt.Seed,
+		Seed:  opt.Seed,
+		Audit: opt.auditor(),
 	})
 	if err != nil {
 		return nil, err
@@ -38,6 +39,9 @@ func runFig12a(opt Options) (*Result, error) {
 	c.ScheduleAddMDS(addAt1, 1)
 	c.ScheduleAddMDS(addAt2, 1)
 	c.RunUntilDone(opt.MaxTicks)
+	if err := auditErr(c); err != nil {
+		return nil, err
+	}
 	rec := c.Metrics()
 
 	phaseMean := func(lo, hi int64) float64 {
@@ -127,6 +131,7 @@ func runFig12b(opt Options) (*Result, error) {
 		Clients:    40,
 		ClientRate: 45, // phase-one demand stays well under one MDS's capacity
 		Seed:       opt.Seed,
+		Audit:      opt.auditor(),
 	})
 	if err != nil {
 		return nil, err
@@ -141,6 +146,9 @@ func runFig12b(opt Options) (*Result, error) {
 		prev = lun.Rebalances()
 	}
 	c.RunUntilDone(opt.MaxTicks)
+	if err := auditErr(c); err != nil {
+		return nil, err
+	}
 	rec := c.Metrics()
 
 	res := &Result{Table: &metrics.Table{Header: []string{

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/audit"
 	"repro/internal/balancer"
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -27,6 +28,25 @@ type Options struct {
 	Scale float64
 	// MaxTicks bounds each simulation (default: per experiment).
 	MaxTicks int64
+	// Audit attaches a state auditor to every cluster the experiment
+	// builds and fails the run on any invariant violation. The auditor
+	// is read-only, so audited results are identical to unaudited ones.
+	Audit bool
+}
+
+// auditor returns a fresh epoch-cadence auditor when auditing is
+// requested, else nil (the zero-cost disabled state).
+func (o Options) auditor() *audit.Auditor {
+	if !o.Audit {
+		return nil
+	}
+	return audit.New(audit.Options{})
+}
+
+// auditErr surfaces any invariant violations a run's auditor recorded.
+// Nil-safe on unaudited clusters.
+func auditErr(c *cluster.Cluster) error {
+	return c.Auditor().Err()
 }
 
 func (o *Options) defaults() {
@@ -214,16 +234,24 @@ func MakeBalancer(name string) balancer.Balancer {
 	}
 }
 
-// runOne builds and runs a cluster to completion (or MaxTicks).
+// runOne builds and runs a cluster to completion (or MaxTicks). With
+// Options.Audit set, every run carries a state auditor and an invariant
+// violation fails the experiment.
 func runOne(opt Options, cfg cluster.Config) (*cluster.Cluster, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = opt.Seed
+	}
+	if cfg.Audit == nil {
+		cfg.Audit = opt.auditor()
 	}
 	c, err := cluster.New(cfg)
 	if err != nil {
 		return nil, err
 	}
 	c.RunUntilDone(opt.MaxTicks)
+	if err := auditErr(c); err != nil {
+		return nil, err
+	}
 	return c, nil
 }
 

@@ -53,6 +53,7 @@ func runFailover(opt Options) (*Result, error) {
 				Workload:      gen,
 				RecoveryTicks: failoverRecoveryTicks,
 				Seed:          opt.Seed,
+				Audit:         opt.auditor(),
 			})
 			if err != nil {
 				return nil, err
@@ -64,6 +65,9 @@ func runFailover(opt Options) (*Result, error) {
 				c.RecoverMDS(rank)
 			}
 			c.RunUntilDone(opt.MaxTicks)
+			if err := auditErr(c); err != nil {
+				return nil, err
+			}
 			rec := c.Metrics()
 
 			pre := windowMean(rec, crashAt-40, crashAt)

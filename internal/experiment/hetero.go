@@ -42,7 +42,8 @@ func runHetero(opt Options) (*Result, error) {
 				Workload: workload.NewZipf(workload.ZipfConfig{
 					OpsPerClient: scaledMin(30000, opt.Scale, 20000),
 				}),
-				Seed: opt.Seed,
+				Seed:  opt.Seed,
+				Audit: opt.auditor(),
 			})
 			if err != nil {
 				return nil, err
@@ -51,6 +52,9 @@ func runHetero(opt Options) (*Result, error) {
 				c.ScheduleCapacity(100, 2, 1000)
 			}
 			c.RunUntilDone(opt.MaxTicks)
+			if err := auditErr(c); err != nil {
+				return nil, err
+			}
 			rec := c.Metrics()
 			stalls := c.Servers()[2].Stalls()
 			res.Table.Add(sc.name, b, fi(rec.MeanThroughput()),

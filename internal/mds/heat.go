@@ -142,6 +142,28 @@ func (t *heatTable) entries() int {
 	return n
 }
 
+// minValue returns the smallest decayed value across all cells, or 0
+// for an empty table. Pure read over unordered maps: min is
+// order-independent, so this cannot perturb determinism.
+func (t *heatTable) minValue() float64 {
+	min := 0.0
+	first := true
+	for _, c := range t.byKey {
+		if v := t.value(c); first || v < min {
+			min, first = v, false
+		}
+	}
+	for _, c := range t.byDir {
+		if v := t.value(c); first || v < min {
+			min, first = v, false
+		}
+	}
+	if first {
+		return 0
+	}
+	return min
+}
+
 // dirChain caches the ancestor heat cells an access to a child of one
 // parent directory must bump: the cells for parent, grandparent, ...,
 // up to and including the subtree root stop. Repeated accesses under

@@ -177,6 +177,102 @@ func TestMigratorLifecycle(t *testing.T) {
 	}
 }
 
+// TestMigratorCompleteVanishedEntry is the regression test for the
+// stale-commit bug: an entry can be absorbed (or split away) while its
+// export is in flight — the exporter keeps serving, and housekeeping
+// keeps reshaping, the subtree until the freeze window. Completion must
+// then account the task as dropped (reason "vanished"), not commit
+// authority onto a key that no longer exists.
+func TestMigratorCompleteVanishedEntry(t *testing.T) {
+	tr, p, _ := fixture(t)
+	d, _ := tr.Lookup("/d")
+	e := p.Carve(d)
+	m := NewMigrator(p, 8, 2, 100)
+	task := m.Submit(e.Key, 0, 1, 50, 0)
+	m.Tick(0)
+	if task.State != TaskActive {
+		t.Fatalf("task state after tick = %v", task.State)
+	}
+	// Absorb the entry mid-flight (before its DoneTick at 3).
+	if !p.Absorb(e.Key) {
+		t.Fatal("absorb")
+	}
+	verBefore := p.Version()
+	m.Tick(1)
+	m.Tick(2)
+	m.Tick(3)
+	if task.State != TaskDropped {
+		t.Fatalf("task state = %v, want TaskDropped: completion committed onto a vanished entry", task.State)
+	}
+	if m.DroppedTasks() != 1 {
+		t.Fatalf("dropped count = %d, want 1", m.DroppedTasks())
+	}
+	if m.CompletedTasks() != 0 || m.MigratedInodes() != 0 {
+		t.Fatalf("vanished export must not count as completed (completed=%d, inodes=%d)",
+			m.CompletedTasks(), m.MigratedInodes())
+	}
+	if m.ActiveTasks() != 0 || m.IsFrozen(e.Key) {
+		t.Fatal("task must leave the active set and unfreeze")
+	}
+	// The stale key must not have been touched: no partition mutation
+	// besides the absorb itself.
+	if p.Version() != verBefore {
+		t.Fatalf("completion mutated the partition through a stale key (version %d -> %d)",
+			verBefore, p.Version())
+	}
+	// Counter reconciliation still holds after the vanish drop.
+	sum := int64(m.QueuedTasks()) + int64(m.ActiveTasks()) +
+		m.CompletedTasks() + m.DroppedTasks() + m.AbortedTasks()
+	if m.SubmittedTasks() != sum {
+		t.Fatalf("submitted %d != lifecycle sum %d", m.SubmittedTasks(), sum)
+	}
+}
+
+// TestMigratorNoDuplicateActiveExports is the regression test for the
+// double-export bug found by FuzzMigratorLifecycle: two submissions of
+// the same subtree entry could both activate (the balancer's pending
+// skip-set masks this, but the engine must enforce it). The duplicate
+// must stay queued while the first export is in flight and then drop
+// as stale once the completed export changes the authority.
+func TestMigratorNoDuplicateActiveExports(t *testing.T) {
+	tr, p, _ := fixture(t)
+	d, _ := tr.Lookup("/d")
+	e := p.Carve(d)
+	m := NewMigrator(p, 8, 4, 100)
+	first := m.Submit(e.Key, 0, 1, 50, 0)
+	dup := m.Submit(e.Key, 0, 2, 50, 0)
+	m.Tick(0)
+	if first.State != TaskActive {
+		t.Fatalf("first task state = %v, want active", first.State)
+	}
+	if dup.State == TaskActive {
+		t.Fatal("duplicate export of the same entry activated concurrently")
+	}
+	if m.ActiveTasks() != 1 || m.QueuedTasks() != 1 {
+		t.Fatalf("active=%d queued=%d, want 1 and 1", m.ActiveTasks(), m.QueuedTasks())
+	}
+	// Run the first export to completion (20 inodes at 8/tick -> done
+	// at tick 3); the authority flips to rank 1, so the duplicate is
+	// dropped as stale on the next activation attempt.
+	for tick := int64(1); tick <= 4; tick++ {
+		m.Tick(tick)
+	}
+	if first.State != TaskDone {
+		t.Fatalf("first task state = %v, want done", first.State)
+	}
+	if dup.State != TaskDropped {
+		t.Fatalf("duplicate task state = %v, want dropped", dup.State)
+	}
+	if got, _ := p.EntryAt(e.Key); got.Auth != 1 {
+		t.Fatalf("authority = %d, want the first export's importer", got.Auth)
+	}
+	sum := int64(m.QueuedTasks()) + int64(m.ActiveTasks()) +
+		m.CompletedTasks() + m.DroppedTasks() + m.AbortedTasks()
+	if m.SubmittedTasks() != sum {
+		t.Fatalf("submitted %d != lifecycle sum %d", m.SubmittedTasks(), sum)
+	}
+}
+
 func TestMigratorConcurrencyBound(t *testing.T) {
 	tr := namespace.NewTree()
 	p := namespace.NewPartition(tr, 0)

@@ -186,10 +186,16 @@ func (m *Migrator) Tick(tick int64) {
 		}
 	}
 
-	// Expire or drop stale queued tasks, then activate what fits.
+	// Expire or drop stale queued tasks, then activate what fits. The
+	// common no-queued-tasks case allocates nothing.
+	if len(m.queued) == 0 {
+		return
+	}
 	activePer := make(map[namespace.MDSID]int)
+	activeKeys := make(map[namespace.FragKey]bool, len(m.active))
 	for _, t := range m.active {
 		activePer[t.From]++
+		activeKeys[t.Key] = true
 	}
 	var remaining []*ExportTask
 	for _, t := range m.queued {
@@ -208,12 +214,18 @@ func (m *Migrator) Tick(tick int64) {
 			m.drop(t, tick, "endpoint_down")
 			continue
 		}
-		if activePer[t.From] >= m.MaxActivePerExporter || m.frozen[t.Key] {
+		if activePer[t.From] >= m.MaxActivePerExporter || m.frozen[t.Key] ||
+			activeKeys[t.Key] {
+			// The activeKeys guard keeps a subtree from being exported
+			// twice concurrently: a duplicate submission stays queued
+			// until the in-flight export settles (it is then dropped as
+			// stale when the completed export changes the authority).
 			remaining = append(remaining, t)
 			continue
 		}
 		m.activate(t, tick)
 		activePer[t.From]++
+		activeKeys[t.Key] = true
 	}
 	m.queued = remaining
 }
@@ -255,8 +267,17 @@ func (m *Migrator) noteFrozen(t *ExportTask, tick int64) {
 }
 
 func (m *Migrator) complete(t *ExportTask, tick int64) {
-	t.State = TaskDone
 	delete(m.frozen, t.Key)
+	if _, ok := m.part.EntryAt(t.Key); !ok {
+		// The entry was absorbed or split away while the export was in
+		// flight (the exporter keeps serving — and the balancer keeps
+		// reshaping — the subtree until the freeze). There is nothing
+		// left to hand over; committing authority onto the stale key
+		// would be a silent no-op at best and a corruption at worst.
+		m.drop(t, tick, "vanished")
+		return
+	}
+	t.State = TaskDone
 	m.part.SetAuth(t.Key, t.To)
 	m.migratedInodes += int64(t.Inodes)
 	m.completedTasks++
@@ -377,6 +398,15 @@ func (m *Migrator) TasksFor(rank namespace.MDSID) (queued, active int) {
 
 // ActiveTasks returns the number of in-flight exports.
 func (m *Migrator) ActiveTasks() int { return len(m.active) }
+
+// ForEachActive visits every in-flight export task in activation order.
+// The callback must treat the task as read-only; the state auditor uses
+// this to reconcile the frozen set against the active commit windows.
+func (m *Migrator) ForEachActive(fn func(*ExportTask)) {
+	for _, t := range m.active {
+		fn(t)
+	}
+}
 
 // PendingFor returns queued+active export load already planned away
 // from the given exporter, keyed by subtree. Balancers use it to avoid

@@ -248,6 +248,14 @@ func (s *Server) HeatOfDir(ino namespace.Ino) float64 {
 // timeline.
 func (s *Server) HeatEntries() int { return s.heat.entries() }
 
+// MinHeat returns the smallest decayed popularity value across every
+// heat cell (key and directory), or 0 when the table is empty. Heat
+// only accumulates accesses and decays multiplicatively, so a negative
+// reading means counter corruption; the state auditor checks it.
+func (s *Server) MinHeat() float64 {
+	return s.heat.minValue()
+}
+
 // DropSubtreeStats clears trace and heat state for a subtree that has
 // been migrated away. (Chain caches only hold directory cells, so no
 // invalidation is needed for a key-cell delete.)

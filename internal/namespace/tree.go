@@ -229,6 +229,12 @@ func (t *Tree) Get(ino Ino) *Inode {
 // NumInodes returns the total number of inodes in the tree.
 func (t *Tree) NumInodes() int { return t.root.subInodes }
 
+// MaxIno returns the highest inode number ever allocated (inode numbers
+// are dense and start at RootIno, so [RootIno, MaxIno] spans every
+// inode that exists or existed). The state auditor uses it to sample
+// inodes by stride without walking the tree.
+func (t *Tree) MaxIno() Ino { return Ino(len(t.byIno)) - 1 }
+
 func (t *Tree) attach(parent *Inode, name string, isDir bool, size int64) (*Inode, error) {
 	if parent == nil || !parent.IsDir {
 		return nil, ErrNotDir
