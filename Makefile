@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench gobench audit fuzz
+.PHONY: all build test vet race check bench gobench audit fuzz elastic
 
 all: check
 
@@ -24,9 +24,16 @@ check: build vet race
 # checked-in baseline: ns/tick ratios are informational (host-dependent),
 # but the run fails if any case's allocs/tick regresses by more than 10%.
 # Regenerate the baseline after an intentional change with
-# `go run ./cmd/lunule-bench -tickbench -tickbench-out BENCH_pr3.json`.
+# `go run ./cmd/lunule-bench -tickbench -tickbench-out BENCH_pr5.json`.
 bench:
-	$(GO) run ./cmd/lunule-bench -tickbench -tickbench-baseline BENCH_pr3.json
+	$(GO) run ./cmd/lunule-bench -tickbench -tickbench-baseline BENCH_pr5.json
+
+# elastic runs the audited autoscaler suite: the diurnal-wave experiment
+# (elastic vs static fleets) plus an audited scale-up/drain-down smoke of
+# the CLI — one full 4 -> 8 -> 4 cycle that must exit clean.
+elastic:
+	$(GO) run ./cmd/lunule-bench -exp elastic -audit
+	$(GO) run ./cmd/lunule-sim -elastic -mds 4 -clients 48 -audit -audit-every-tick -maxticks 8000 >/dev/null
 
 # gobench runs the in-package Go micro-benchmarks.
 gobench:

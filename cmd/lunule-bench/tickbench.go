@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/elastic"
 	"repro/internal/experiment"
 	"repro/internal/workload"
 )
@@ -39,7 +40,9 @@ type tickReport struct {
 // measured at steady state, never on a drained cluster.
 func tickWorkload(kind string) (workload.Generator, error) {
 	switch kind {
-	case "zipf":
+	case "zipf", "elastic":
+		// "elastic" is the zipf cell with an autoscaler attached: it
+		// measures what the elastic observation path costs per tick.
 		return workload.NewZipf(workload.ZipfConfig{FilesPerClient: 500, OpsPerClient: 1 << 30}), nil
 	case "shareddir":
 		return workload.NewMDShared(workload.MDSharedConfig{CreatesPerClient: 1 << 30}), nil
@@ -55,6 +58,15 @@ func runTickCase(kind string, mds int, warmup, ticks int64) (tickCase, error) {
 	if err != nil {
 		return tickCase{}, err
 	}
+	var controller *elastic.Controller
+	if kind == "elastic" {
+		// Wide bounds so the steady-state workload neither grows nor
+		// drains mid-measurement: the cell prices the per-epoch
+		// observation, not a migration storm.
+		policy := elastic.DefaultPolicy()
+		policy.MinRanks, policy.MaxRanks = mds, 2*mds
+		controller = elastic.MustController(policy)
+	}
 	c, err := cluster.New(cluster.Config{
 		MDS:        mds,
 		Clients:    clients,
@@ -62,6 +74,7 @@ func runTickCase(kind string, mds int, warmup, ticks int64) (tickCase, error) {
 		Seed:       42,
 		Balancer:   experiment.MakeBalancer("Lunule"),
 		Workload:   gen,
+		Elastic:    controller,
 	})
 	if err != nil {
 		return tickCase{}, err
@@ -104,7 +117,7 @@ func runTickBench(stdout io.Writer, ticks int64, outPath, baselinePath string, m
 		ticks = 300
 	}
 	rep := tickReport{Go: runtime.Version(), Ticks: ticks}
-	for _, kind := range []string{"zipf", "shareddir"} {
+	for _, kind := range []string{"zipf", "shareddir", "elastic"} {
 		for _, mds := range []int{4, 8, 16} {
 			tc, err := runTickCase(kind, mds, 100, ticks)
 			if err != nil {

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/audit"
 	"repro/internal/cluster"
+	"repro/internal/elastic"
 	"repro/internal/experiment"
 	"repro/internal/fault"
 	"repro/internal/metrics"
@@ -62,6 +63,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		recoveryT = fs.Int("recoveryticks", 0, "failover takeover latency window in ticks (default 20)")
 		auditOn   = fs.Bool("audit", false, "validate cross-module invariants at every epoch; violations fail the run")
 		auditTick = fs.Bool("audit-every-tick", false, "with -audit, run the invariant checks every tick instead of every epoch")
+
+		elasticOn   = fs.Bool("elastic", false, "enable the MDS autoscaler: grow under saturation, gracefully drain ranks when idle (-mds is the starting size)")
+		elasticMin  = fs.Int("elastic-min", 0, "with -elastic, rank floor (default: the starting -mds count)")
+		elasticMax  = fs.Int("elastic-max", 0, "with -elastic, rank ceiling (default: 2x the floor)")
+		elasticUp   = fs.Float64("elastic-up", 0.75, "with -elastic, utilization that triggers a scale-up")
+		elasticDown = fs.Float64("elastic-down", 0.35, "with -elastic, utilization below which a rank drains")
+		elasticCool = fs.Int64("elastic-cooldown", 2, "with -elastic, epochs between consecutive scale decisions")
+		elasticStep = fs.Int("elastic-step", 2, "with -elastic, ranks added per scale-up (drains retire one at a time)")
 
 		traceOut   = fs.String("trace-out", "", "write a structured JSONL event trace to this file")
 		traceEvs   = fs.String("trace-events", "", "comma-separated event types to trace (empty or 'all' = everything; see EXPERIMENTS.md)")
@@ -107,6 +116,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var auditor *audit.Auditor
 	if *auditOn {
 		auditor = audit.New(audit.Options{EveryTick: *auditTick})
+	}
+
+	var controller *elastic.Controller
+	if *elasticOn {
+		policy := elastic.DefaultPolicy()
+		policy.MinRanks = *mdsN
+		if *elasticMin > 0 {
+			policy.MinRanks = *elasticMin
+		}
+		policy.MaxRanks = 2 * policy.MinRanks
+		if *elasticMax > 0 {
+			policy.MaxRanks = *elasticMax
+		}
+		policy.ScaleUpUtil = *elasticUp
+		policy.ScaleDownUtil = *elasticDown
+		policy.CooldownEpochs = *elasticCool
+		policy.StepUp = *elasticStep
+		var err error
+		controller, err = elastic.NewController(policy)
+		if err != nil {
+			return fail(err)
+		}
+	} else if *elasticMin > 0 || *elasticMax > 0 {
+		return fail(fmt.Errorf("-elastic-min/-elastic-max need -elastic"))
 	}
 
 	// Observability wiring. The bus is nil unless a sink was requested,
@@ -176,6 +209,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Faults:        faults,
 		Bus:           bus,
 		Audit:         auditor,
+		Elastic:       controller,
 	})
 	if err != nil {
 		return fail(err)
@@ -196,6 +230,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	end := c.RunUntilDone(*ticks)
+	if controller != nil {
+		// Let in-flight drains finish and the idle cluster shrink back
+		// to its floor, so the run ends with a settled fleet.
+		end = c.SettleDrains(3000)
+	}
 	rec := c.Metrics()
 	if err := bus.Close(); err != nil {
 		return fail(err)
@@ -229,6 +268,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		tbl.Add("mean ticks to reassign", fmt.Sprintf("%.1f", rec.MeanTicksToReassign()))
 		if down := c.DownRanks(); len(down) > 0 {
 			tbl.Add("still down at end", fmt.Sprint(down))
+		}
+	}
+	if controller != nil {
+		tbl.Add("scale-ups applied", fmt.Sprintf("%d", c.ScaleUps()))
+		tbl.Add("drains completed", fmt.Sprintf("%d", c.DrainsDone()))
+		tbl.Add("serving ranks at end", fmt.Sprintf("%d (of %d ever)", c.ServingRanks(), len(c.Servers())))
+		tbl.Add("rank-epochs billed", fmt.Sprintf("%d", c.RankEpochs()))
+		if dr := c.DrainingRanks(); len(dr) > 0 {
+			tbl.Add("still draining at end", fmt.Sprint(dr))
 		}
 	}
 	if auditor != nil {

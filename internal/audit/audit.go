@@ -150,7 +150,62 @@ func (a *Auditor) Check(s State) int {
 	a.checkClients(s)
 	a.checkHeat(s)
 	a.checkOps(s)
+	a.checkLifecycle(s)
 	return len(a.violations) - before
+}
+
+// checkLifecycle validates the elastic drain/decommission invariants:
+// a decommissioned rank has fully left the metadata plane — it governs
+// zero subtree entries and is no endpoint of any export, queued or
+// active — and no active export imports into a draining rank. A
+// *queued* task targeting a draining (or freshly decommissioned) rank
+// is a legal transient: it was planned before the drain started and
+// the activation gate drops it with reason "importer_excluded" before
+// it can move anything.
+func (a *Auditor) checkLifecycle(s State) {
+	anyRetired := false
+	for _, srv := range s.Servers {
+		if srv.State() == mds.RankDecommissioned || srv.Draining() {
+			anyRetired = true
+			break
+		}
+	}
+	if !anyRetired {
+		return
+	}
+	decom := func(id namespace.MDSID) bool {
+		return int(id) >= 0 && int(id) < len(s.Servers) &&
+			s.Servers[id].State() == mds.RankDecommissioned
+	}
+	draining := func(id namespace.MDSID) bool {
+		return int(id) >= 0 && int(id) < len(s.Servers) && s.Servers[id].Draining()
+	}
+	for _, e := range s.Partition.Entries() {
+		if decom(e.Auth) {
+			a.failf(s.Tick, "lifecycle/decommissioned",
+				"entry %v/%s still owned by decommissioned rank %d",
+				e.Key.Dir, e.Key.Frag, e.Auth)
+		}
+	}
+	s.Migrator.ForEachActive(func(t *mds.ExportTask) {
+		if decom(t.From) || decom(t.To) {
+			a.failf(s.Tick, "lifecycle/decommissioned",
+				"active export %v/%s has decommissioned endpoint (from %d, to %d)",
+				t.Key.Dir, t.Key.Frag, t.From, t.To)
+		}
+		if draining(t.To) {
+			a.failf(s.Tick, "lifecycle/draining",
+				"active export %v/%s imports into draining rank %d",
+				t.Key.Dir, t.Key.Frag, t.To)
+		}
+	})
+	s.Migrator.ForEachQueued(func(t *mds.ExportTask) {
+		if decom(t.From) {
+			a.failf(s.Tick, "lifecycle/decommissioned",
+				"queued export %v/%s from decommissioned rank %d",
+				t.Key.Dir, t.Key.Frag, t.From)
+		}
+	})
 }
 
 // checkPartition validates partition structure (per-directory fragment

@@ -27,6 +27,11 @@ type View interface {
 	// Up reports whether the given rank is alive. Down ranks serve
 	// nothing and must never be chosen as migration endpoints.
 	Up(id namespace.MDSID) bool
+	// Importable reports whether the given rank may receive subtrees:
+	// up and not draining. A draining rank still serves (and exports)
+	// but is being emptied by the elastic scale-down path, so the
+	// balancer must never plan imports into it.
+	Importable(id namespace.MDSID) bool
 	// Server returns the MDS with the given rank.
 	Server(id namespace.MDSID) *mds.Server
 	// Partition is the live subtree partition (balancers mutate it via
@@ -78,6 +83,21 @@ func LiveRanks(v View) []namespace.MDSID {
 	out := make([]namespace.MDSID, 0, v.NumMDS())
 	for i := 0; i < v.NumMDS(); i++ {
 		if id := namespace.MDSID(i); v.Up(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// ImportableRanks returns the ranks that may receive subtrees (up and
+// not draining), in rank order. This is the participant set balancers
+// plan over: a draining rank's remaining load is the drain pump's
+// problem, not the balancer's, and counting a rank that is leaving
+// would both skew the average and invite imports into it.
+func ImportableRanks(v View) []namespace.MDSID {
+	out := make([]namespace.MDSID, 0, v.NumMDS())
+	for i := 0; i < v.NumMDS(); i++ {
+		if id := namespace.MDSID(i); v.Importable(id) {
 			out = append(out, id)
 		}
 	}

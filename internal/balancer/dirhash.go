@@ -38,15 +38,15 @@ func (b *DirHash) Rebalance(v View) {
 func (b *DirHash) pin(v View) {
 	part := v.Partition()
 	tree := part.Tree()
-	live := LiveRanks(v)
+	live := ImportableRanks(v)
 	if len(live) == 0 {
 		return
 	}
 	pin := func(ch *namespace.Inode) {
 		if len(part.EntriesAt(ch.Ino)) == 0 {
 			e := part.Carve(ch)
-			// Hash across the live ranks only; with no failures this is
-			// identical to hashing across all ranks.
+			// Hash across the importable ranks only; with no failures
+			// or drains this is identical to hashing across all ranks.
 			target := live[int(namespace.HashName(ch.Path()))%len(live)]
 			part.SetAuth(e.Key, target)
 		}

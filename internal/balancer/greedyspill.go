@@ -40,15 +40,18 @@ func (b *GreedySpill) Rebalance(v View) {
 	loads := Loads(v)
 	for i := 0; i < n; i++ {
 		ex := namespace.MDSID(i)
-		if !v.Up(ex) {
+		if !v.Importable(ex) {
+			// Down or draining: the drain pump owns a draining rank's
+			// exports; GreedySpill stays out of its way.
 			continue
 		}
-		// The neighbour is the next live rank (wrapping): spilling to a
-		// crashed neighbour would strand the subtree.
+		// The neighbour is the next importable rank (wrapping):
+		// spilling to a crashed or draining neighbour would strand the
+		// subtree on a rank that is leaving.
 		neighbour := ex
 		for step := 1; step < n; step++ {
 			cand := namespace.MDSID((i + step) % n)
-			if v.Up(cand) {
+			if v.Importable(cand) {
 				neighbour = cand
 				break
 			}

@@ -44,7 +44,10 @@ func (b *Vanilla) Rebalance(v View) {
 	v.Ledger().EpochVanilla(n)
 
 	loads := SmoothedLoads(v, 2)
-	live := LiveRanks(v)
+	// Plan over importable ranks only: down ranks serve nothing, and a
+	// draining rank is being emptied by the drain pump — it neither
+	// exports through the balancer nor accepts imports.
+	live := ImportableRanks(v)
 	if len(live) < 2 {
 		return
 	}

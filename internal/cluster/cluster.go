@@ -14,6 +14,7 @@ import (
 	"repro/internal/balancer"
 	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/elastic"
 	"repro/internal/fault"
 	"repro/internal/mds"
 	"repro/internal/metrics"
@@ -94,6 +95,14 @@ type Config struct {
 	// zero cost, and the auditor is strictly read-only: the same seed
 	// produces a byte-identical run with auditing on or off.
 	Audit *audit.Auditor
+	// Elastic optionally attaches an autoscaler controller. At every
+	// epoch close the cluster feeds it a utilization snapshot; ScaleUp
+	// decisions add ranks via AddMDS (the same epoch's rebalance then
+	// fills them), ScaleDown decisions start a graceful drain (the rank
+	// keeps serving while every subtree it governs is bulk-exported,
+	// then it is decommissioned and leaves the balancer's view). nil
+	// keeps the fixed-size behaviour at zero cost.
+	Elastic *elastic.Controller
 }
 
 func (c *Config) defaults() {
@@ -194,6 +203,19 @@ type Cluster struct {
 	recoveryTickSum int64
 	capacityClamps  int64
 
+	// Elastic state: the controller (nil = fixed-size cluster), the
+	// in-flight drains keyed by rank, the static-pin registry (PinPath
+	// records pins here so a drain can explicitly unpin before
+	// exporting), and the cumulative counters the experiments report.
+	// rankEpochs accumulates live ranks per closed epoch — the
+	// "rank-epochs" capacity cost an elastic run is judged by.
+	elastic    *elastic.Controller
+	draining   map[namespace.MDSID]*drainState
+	pins       map[namespace.FragKey]int
+	rankEpochs int64
+	scaleUps   int64
+	drainsDone int64
+
 	// events holds scheduled cluster mutations (MDS additions,
 	// capacity changes, crashes, recoveries), fired at the top of their
 	// tick in submission order.
@@ -232,6 +254,9 @@ func New(cfg Config) (*Cluster, error) {
 		crashTick: make(map[namespace.MDSID]int64),
 		crashLoad: make(map[namespace.MDSID]float64),
 		auditor:   cfg.Audit,
+		elastic:   cfg.Elastic,
+		draining:  make(map[namespace.MDSID]*drainState),
+		pins:      make(map[namespace.FragKey]int),
 	}
 	cl.orphanFn = func(id namespace.MDSID) bool { return cl.orphaned[id] }
 	if !cfg.DisableResolveCache {
@@ -261,6 +286,12 @@ func New(cfg Config) (*Cluster, error) {
 	// crash never ship a subtree to (or from) a dead server.
 	cl.migrator.ValidRank = func(r namespace.MDSID) bool {
 		return int(r) < len(cl.servers) && cl.servers[r].Up()
+	}
+	// The importer side is gated harder: a draining rank is a legal
+	// exporter (it is being emptied) but must never receive a subtree,
+	// so tasks planned before its drain started drop at activation.
+	cl.migrator.ValidImporter = func(r namespace.MDSID) bool {
+		return cl.importable(r)
 	}
 	for i, sp := range specs {
 		cl.clients = append(cl.clients, client.New(i, sp, cfg.ClientRate))
@@ -312,10 +343,17 @@ func (c *Cluster) ScheduleAddMDS(tick int64, n int) {
 // the given MDS rank — CephFS's manual subtree pinning
 // (ceph.dir.pin). Pinned subtrees still migrate if a balancer chooses
 // to move them; combine with a passive balancer for fully static
-// placement.
+// placement. The pin is recorded so a graceful drain of the rank can
+// explicitly unpin-and-export the subtree (drain wins over pinning;
+// see PinnedRank). Pinning to a down, draining, or decommissioned rank
+// is refused.
 func (c *Cluster) PinPath(path string, rank int) error {
 	if rank < 0 || rank >= len(c.servers) {
 		return fmt.Errorf("cluster: pin rank %d out of range [0,%d)", rank, len(c.servers))
+	}
+	if !c.importable(namespace.MDSID(rank)) {
+		return fmt.Errorf("cluster: pin rank %d is %s, not an import target",
+			rank, c.servers[rank].State())
 	}
 	dir, err := c.tree.Lookup(path)
 	if err != nil {
@@ -326,7 +364,17 @@ func (c *Cluster) PinPath(path string, rank int) error {
 	}
 	e := c.part.Carve(dir)
 	c.part.SetAuth(e.Key, namespace.MDSID(rank))
+	c.pins[e.Key] = rank
 	return nil
+}
+
+// PinnedRank reports the rank a subtree entry was pinned to by
+// PinPath, if it is still pinned. A drain of the pinned rank removes
+// the pin (the documented "drain wins" policy: retiring a rank beats
+// keeping a manual placement on it).
+func (c *Cluster) PinnedRank(key namespace.FragKey) (int, bool) {
+	r, ok := c.pins[key]
+	return r, ok
 }
 
 // ScheduleCapacity arranges for the given rank's capacity to change at
@@ -374,6 +422,12 @@ func (c *Cluster) CrashMDS(rank int) bool {
 	// is the takeover's only usable load-share basis.
 	c.crashLoad[id] = c.servers[rank].CurrentLoad()
 	c.servers[rank].Crash()
+	// A crash mid-drain cancels the drain: AbortRank below rolls the
+	// in-flight exports' authority to their importers, and everything
+	// the dead rank still governed is orphaned and handed to survivors
+	// by the scheduled takeover — exactly once, through that one path.
+	// If the rank later rejoins it comes back Active, not Draining.
+	delete(c.draining, id)
 	aborted := c.migrator.AbortRank(id)
 	c.orphaned[id] = true
 	crashedAt := c.tick
@@ -418,9 +472,12 @@ func (c *Cluster) CrashHottest() int {
 // against the down rank have their residual backoff cleared — the
 // rank is serving again, so waiting out the rest of an exponential
 // backoff window would just extend the outage they observe. It
-// returns false for an invalid or already-up rank.
+// returns false for an invalid, already-up, or decommissioned rank —
+// decommissioning is terminal; a retired rank rejoins only as a brand
+// new rank via AddMDS.
 func (c *Cluster) RecoverMDS(rank int) bool {
-	if rank < 0 || rank >= len(c.servers) || c.servers[rank].Up() {
+	if rank < 0 || rank >= len(c.servers) || c.servers[rank].Up() ||
+		c.servers[rank].Decommissioned() {
 		return false
 	}
 	id := namespace.MDSID(rank)
@@ -474,15 +531,67 @@ func (c *Cluster) ApplyFaults(s fault.Schedule) {
 	}
 }
 
-// DownRanks returns the currently-down ranks in rank order.
+// DownRanks returns the currently-crashed ranks in rank order. A
+// decommissioned rank is not down — it left the cluster on purpose and
+// is never a takeover source or recovery target — so it is excluded
+// (see DecommissionedRanks).
 func (c *Cluster) DownRanks() []int {
 	var out []int
 	for i, s := range c.servers {
-		if !s.Up() {
+		if s.State() == mds.RankDown {
 			out = append(out, i)
 		}
 	}
 	return out
+}
+
+// DrainingRanks returns the ranks currently mid-drain in rank order.
+func (c *Cluster) DrainingRanks() []int {
+	var out []int
+	for i, s := range c.servers {
+		if s.Draining() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// DecommissionedRanks returns the retired ranks in rank order.
+func (c *Cluster) DecommissionedRanks() []int {
+	var out []int
+	for i, s := range c.servers {
+		if s.Decommissioned() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ServingRanks counts ranks currently serving requests (active or
+// draining).
+func (c *Cluster) ServingRanks() int {
+	n := 0
+	for _, s := range c.servers {
+		if s.Up() {
+			n++
+		}
+	}
+	return n
+}
+
+// drainState tracks one in-flight graceful drain.
+type drainState struct {
+	startTick    int64
+	startEntries int
+}
+
+// importable reports whether the rank is a legal import target: in
+// range, serving, and not being emptied. This is the predicate behind
+// both the balancer view's Importable and the migrator's ValidImporter
+// activation gate.
+func (c *Cluster) importable(r namespace.MDSID) bool {
+	return r >= 0 && int(r) < len(c.servers) &&
+		c.servers[r].Up() && !c.servers[r].Draining()
 }
 
 // reassignOrphans executes the failover takeover for a rank that
@@ -509,10 +618,20 @@ func (c *Cluster) reassignOrphans(dead namespace.MDSID, crashedAt int64) {
 		id  namespace.MDSID
 		eff float64
 	}
+	// Survivors are preferably active ranks; a draining rank only takes
+	// orphans when nobody else is up (the drain pump then re-exports
+	// them, so they still end on an active rank).
 	var live []survivor
 	for i, s := range c.servers {
-		if s.Up() {
+		if s.Up() && !s.Draining() {
 			live = append(live, survivor{namespace.MDSID(i), s.CurrentLoad()})
+		}
+	}
+	if len(live) == 0 {
+		for i, s := range c.servers {
+			if s.Up() {
+				live = append(live, survivor{namespace.MDSID(i), s.CurrentLoad()})
+			}
 		}
 	}
 	if len(live) == 0 {
@@ -568,6 +687,247 @@ func (c *Cluster) AddMDS() *mds.Server {
 	return s
 }
 
+// StartDrain begins a graceful drain of the given rank: it flips to
+// Draining — still serving, no longer an import target — and the drain
+// pump bulk-exports every subtree it governs until it owns nothing,
+// at which point it is decommissioned. Subtrees pinned to the rank by
+// PinPath are unpinned and exported like any other (drain wins over
+// pinning: retiring the rank beats honouring a manual placement on
+// it). Returns false for an out-of-range or non-active rank, when
+// the rank is the last active one — draining it would leave no import
+// target for its subtrees — or when the rank has an export actively
+// importing into it (the in-flight transfer would land on a draining
+// rank; retry once it settles, as pickDrainVictim does).
+func (c *Cluster) StartDrain(rank int) bool {
+	if rank < 0 || rank >= len(c.servers) {
+		return false
+	}
+	inboundActive := false
+	c.migrator.ForEachActive(func(t *mds.ExportTask) {
+		if t.To == namespace.MDSID(rank) {
+			inboundActive = true
+		}
+	})
+	if inboundActive {
+		return false
+	}
+	active := 0
+	for _, s := range c.servers {
+		if s.Up() && !s.Draining() {
+			active++
+		}
+	}
+	if active <= 1 {
+		return false
+	}
+	if !c.servers[rank].StartDrain() {
+		return false
+	}
+	id := namespace.MDSID(rank)
+	unpinned := 0
+	for k, r := range c.pins {
+		if r == rank {
+			delete(c.pins, k)
+			unpinned++
+		}
+	}
+	entries := len(c.part.EntriesOf(id))
+	c.draining[id] = &drainState{startTick: c.tick, startEntries: entries}
+	if c.bus.Enabled(obs.EvDrainStart) {
+		c.bus.Emit(obs.Event{Tick: c.tick, Type: obs.EvDrainStart,
+			Fields: obs.F{"rank": rank, "entries": entries, "unpinned": unpinned}})
+	}
+	return true
+}
+
+// pickDrainVictim selects the rank a ScaleDown decision retires: the
+// least-loaded active rank, preferring the highest rank on ties (later
+// additions retire first). Ranks with inbound exports queued or in
+// flight are skipped — draining one would strand those imports at the
+// activation gate and break the "nothing imports into a draining rank"
+// invariant the auditor enforces. Returns -1 when no rank qualifies.
+func (c *Cluster) pickDrainVictim() int {
+	inbound := make(map[namespace.MDSID]bool)
+	note := func(t *mds.ExportTask) { inbound[t.To] = true }
+	c.migrator.ForEachQueued(note)
+	c.migrator.ForEachActive(note)
+	best, bestLoad := -1, 0.0
+	for i, s := range c.servers {
+		if !s.Up() || s.Draining() || inbound[namespace.MDSID(i)] {
+			continue
+		}
+		load := s.CurrentLoad()
+		if best < 0 || load < bestLoad || (load == bestLoad && i > best) {
+			best, bestLoad = i, load
+		}
+	}
+	return best
+}
+
+// pumpDrains advances every in-flight drain by one tick: ranks that
+// govern nothing and have no exports queued or in flight are
+// decommissioned; the rest get drain exports submitted for every
+// governed subtree not already pending and not frozen (a frozen
+// subtree is mid-commit on an earlier export — it will either leave on
+// its own or come back as governed next tick). Targets are the
+// importable ranks, least projected load first, where the projection
+// counts load already planned into a target by earlier pump ticks so a
+// multi-epoch drain spreads instead of dumping on one survivor.
+func (c *Cluster) pumpDrains(tick int64) {
+	for i, s := range c.servers {
+		id := namespace.MDSID(i)
+		ds, ok := c.draining[id]
+		if !ok {
+			continue
+		}
+		entries := c.part.EntriesOf(id)
+		queued, act := c.migrator.TasksFor(id)
+		if len(entries) == 0 {
+			if queued == 0 && act == 0 {
+				c.finishDrain(id, ds, tick)
+			}
+			continue
+		}
+		var tgt []namespace.MDSID
+		var eff []float64
+		for j := range c.servers {
+			if jid := namespace.MDSID(j); c.importable(jid) {
+				tgt = append(tgt, jid)
+				eff = append(eff, c.servers[j].CurrentLoad())
+			}
+		}
+		if len(tgt) == 0 {
+			continue // no import target this tick; retry next tick
+		}
+		project := func(t *mds.ExportTask) {
+			for k, r := range tgt {
+				if r == t.To {
+					eff[k] += t.PlannedLoad
+					break
+				}
+			}
+		}
+		c.migrator.ForEachQueued(project)
+		c.migrator.ForEachActive(project)
+		pending := c.migrator.PendingFor(id)
+		share := s.CurrentLoad() / float64(len(entries))
+		if share <= 0 {
+			share = 1
+		}
+		for _, e := range entries {
+			if pending[e.Key] || c.migrator.IsFrozen(e.Key) {
+				continue
+			}
+			best := 0
+			for k := 1; k < len(tgt); k++ {
+				if eff[k] < eff[best] {
+					best = k
+				}
+			}
+			c.migrator.SubmitDrain(e.Key, id, tgt[best], share, tick)
+			eff[best] += share
+		}
+	}
+}
+
+// finishDrain decommissions a fully-emptied draining rank.
+func (c *Cluster) finishDrain(id namespace.MDSID, ds *drainState, tick int64) {
+	c.servers[id].Decommission()
+	delete(c.draining, id)
+	c.drainsDone++
+	if c.bus.Enabled(obs.EvDrainComplete) {
+		c.bus.Emit(obs.Event{Tick: tick, Type: obs.EvDrainComplete,
+			Fields: obs.F{"rank": int(id), "entries": ds.startEntries,
+				"waited": tick - ds.startTick}})
+	}
+}
+
+// elasticStep feeds the autoscaler one epoch snapshot and applies its
+// decision. Runs at epoch close, before the balancer, so a scale-up's
+// fresh ranks are import targets in the same epoch's rebalance.
+func (c *Cluster) elasticStep(tick, epoch int64, ifv float64) {
+	var load float64
+	active, drainingN := 0, 0
+	for _, s := range c.servers {
+		if !s.Up() {
+			continue
+		}
+		load += s.CurrentLoad()
+		if s.Draining() {
+			drainingN++
+		} else {
+			active++
+		}
+	}
+	d := c.elastic.Observe(elastic.Snapshot{
+		Epoch:         epoch,
+		ActiveRanks:   active,
+		DrainingRanks: drainingN,
+		Load:          load,
+		Capacity:      float64(c.cfg.Capacity),
+		IF:            ifv,
+	})
+	switch d.Action {
+	case elastic.ScaleUp:
+		for i := 0; i < d.Delta; i++ {
+			c.AddMDS()
+		}
+		c.scaleUps++
+	case elastic.ScaleDown:
+		for i := 0; i < d.Delta; i++ {
+			v := c.pickDrainVictim()
+			if v < 0 || !c.StartDrain(v) {
+				break
+			}
+		}
+	default:
+		return
+	}
+	if c.bus.Enabled(obs.EvScaleDecision) {
+		c.bus.Emit(obs.Event{Tick: tick, Type: obs.EvScaleDecision, Fields: obs.F{
+			"action": d.Action.String(), "delta": d.Delta, "reason": d.Reason,
+			"util": d.Util, "if": ifv, "active": active, "draining": drainingN,
+		}})
+	}
+}
+
+// SettleDrains keeps the simulation stepping after the workload ends
+// until every in-flight drain has completed and the autoscaler has
+// shrunk the cluster back to its floor (the idle cluster drains toward
+// Policy.MinRanks), bounded by maxTicks. It returns the tick at which
+// it stopped, and is a no-op without an elastic controller.
+func (c *Cluster) SettleDrains(maxTicks int64) int64 {
+	if c.elastic == nil {
+		return c.tick
+	}
+	minRanks := c.elastic.Policy().MinRanks
+	limit := c.tick + maxTicks
+	for c.tick < limit {
+		active := 0
+		for _, s := range c.servers {
+			if s.Up() && !s.Draining() {
+				active++
+			}
+		}
+		if len(c.draining) == 0 && active <= minRanks {
+			break
+		}
+		c.Step()
+	}
+	return c.tick
+}
+
+// RankEpochs returns the cumulative serving-rank-epochs of the run —
+// the capacity bill an elastic configuration is judged by against a
+// static fleet.
+func (c *Cluster) RankEpochs() int64 { return c.rankEpochs }
+
+// ScaleUps returns how many scale-up decisions were applied.
+func (c *Cluster) ScaleUps() int64 { return c.scaleUps }
+
+// DrainsDone returns how many graceful drains completed.
+func (c *Cluster) DrainsDone() int64 { return c.drainsDone }
+
 // Step advances the simulation one tick.
 func (c *Cluster) Step() {
 	tick := c.tick
@@ -582,6 +942,11 @@ func (c *Cluster) Step() {
 		c.osds.BeginTick()
 	}
 	c.migrator.Tick(tick)
+	if len(c.draining) != 0 {
+		// Drains in flight: keep the bulk export fed. The guard keeps
+		// the fixed-size (and between-drains) tick loop allocation-free.
+		c.pumpDrains(tick)
+	}
 
 	if cap(c.permBuf) < len(c.clients) {
 		c.permBuf = make([]int, len(c.clients))
@@ -782,6 +1147,7 @@ func (c *Cluster) endEpoch(tick, epoch int64) {
 		}
 	}
 	c.liveLoads = liveLoads[:0]
+	c.rankEpochs += int64(len(liveLoads))
 	res := core.IFModel{}.Compute(liveLoads, float64(c.cfg.Capacity))
 	c.rec.SampleEpoch(tick, res.IF, res.CoV)
 	if c.bus.Enabled(obs.EvEpoch) {
@@ -796,9 +1162,12 @@ func (c *Cluster) endEpoch(tick, epoch int64) {
 			f["rank"], f["epoch"], f["load"] = i, epoch, s.CurrentLoad()
 			f["ops"], f["stalls"] = s.OpsTotal(), s.Stalls()
 			f["heat"], f["queued"], f["active"] = s.HeatEntries(), queued, active
-			f["up"] = s.Up()
+			f["up"], f["state"] = s.Up(), s.State().String()
 			c.bus.EmitPooled(obs.Event{Tick: tick, Type: obs.EvRank, Fields: f})
 		}
+	}
+	if c.elastic != nil {
+		c.elasticStep(tick, epoch, res.IF)
 	}
 	c.cfg.Balancer.Rebalance(&view{c: c, epoch: epoch})
 }
@@ -833,6 +1202,7 @@ func (v *view) Server(id namespace.MDSID) *mds.Server { return v.c.servers[id] }
 func (v *view) Up(id namespace.MDSID) bool {
 	return int(id) < len(v.c.servers) && v.c.servers[id].Up()
 }
+func (v *view) Importable(id namespace.MDSID) bool { return v.c.importable(id) }
 func (v *view) Partition() *namespace.Partition { return v.c.part }
 func (v *view) Migrator() *mds.Migrator         { return v.c.migrator }
 func (v *view) Capacity() float64               { return float64(v.c.cfg.Capacity) }

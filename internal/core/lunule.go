@@ -208,10 +208,13 @@ func (b *Lunule) housekeep(v balancer.View) {
 func (b *Lunule) Rebalance(v balancer.View) {
 	b.housekeep(v)
 	n := v.NumMDS()
-	// The plan runs over live ranks only: a down rank neither reports
-	// an Imbalance State nor may be chosen as an endpoint. The compact
-	// live-index arrays are mapped back to real ranks afterwards.
-	live := balancer.LiveRanks(v)
+	// The plan runs over importable ranks only: a down rank neither
+	// reports an Imbalance State nor may be chosen as an endpoint, and
+	// a draining rank is already being emptied by the elastic drain
+	// pump — planning around it would re-import into a rank that is
+	// leaving. The compact participant-index arrays are mapped back to
+	// real ranks afterwards.
+	live := balancer.ImportableRanks(v)
 	if len(live) < 2 {
 		v.Ledger().EpochLunule(n, 0, nil, 0)
 		return

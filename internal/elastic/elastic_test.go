@@ -1,0 +1,149 @@
+package elastic
+
+import "testing"
+
+func testPolicy() Policy {
+	return Policy{
+		MinRanks:       4,
+		MaxRanks:       8,
+		ScaleUpUtil:    0.75,
+		ScaleDownUtil:  0.35,
+		CooldownEpochs: 2,
+		WarmupEpochs:   1,
+		StepUp:         2,
+		StepDown:       1,
+	}
+}
+
+// snap builds a snapshot with util = load/(active*1000).
+func snap(epoch int64, active, draining int, util float64) Snapshot {
+	return Snapshot{
+		Epoch:         epoch,
+		ActiveRanks:   active,
+		DrainingRanks: draining,
+		Load:          util * float64(active) * 1000,
+		Capacity:      1000,
+	}
+}
+
+func TestPolicyValidate(t *testing.T) {
+	bad := []Policy{
+		{MinRanks: 0, MaxRanks: 4, ScaleUpUtil: 0.8, ScaleDownUtil: 0.2, StepUp: 1, StepDown: 1},
+		{MinRanks: 4, MaxRanks: 2, ScaleUpUtil: 0.8, ScaleDownUtil: 0.2, StepUp: 1, StepDown: 1},
+		{MinRanks: 1, MaxRanks: 4, ScaleUpUtil: 0, ScaleDownUtil: 0, StepUp: 1, StepDown: 1},
+		{MinRanks: 1, MaxRanks: 4, ScaleUpUtil: 0.5, ScaleDownUtil: 0.5, StepUp: 1, StepDown: 1},
+		{MinRanks: 1, MaxRanks: 4, ScaleUpUtil: 0.8, ScaleDownUtil: 0.2, StepUp: 0, StepDown: 1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("policy %d: expected validation error, got nil", i)
+		}
+	}
+	if err := DefaultPolicy().Validate(); err != nil {
+		t.Fatalf("default policy invalid: %v", err)
+	}
+}
+
+func TestWarmupSuppressesDecisions(t *testing.T) {
+	p := testPolicy()
+	p.WarmupEpochs = 3
+	c := MustController(p)
+	for e := int64(0); e < 3; e++ {
+		d := c.Observe(snap(e, 4, 0, 0.99))
+		if d.Action != ScaleNone || d.Reason != "warmup" {
+			t.Fatalf("epoch %d: want warmup None, got %v/%s", e, d.Action, d.Reason)
+		}
+	}
+	if d := c.Observe(snap(3, 4, 0, 0.99)); d.Action != ScaleUp {
+		t.Fatalf("after warmup: want ScaleUp, got %v/%s", d.Action, d.Reason)
+	}
+}
+
+func TestScaleUpClampsToMax(t *testing.T) {
+	c := MustController(testPolicy())
+	c.Observe(snap(0, 7, 0, 0.5)) // warmup
+	d := c.Observe(snap(1, 7, 0, 0.9))
+	if d.Action != ScaleUp || d.Delta != 1 {
+		t.Fatalf("want ScaleUp delta 1 (clamped to max 8), got %v delta %d", d.Action, d.Delta)
+	}
+	// At the ceiling the controller reports at_max, not a zero-delta up.
+	c2 := MustController(testPolicy())
+	c2.Observe(snap(0, 8, 0, 0.5))
+	if d := c2.Observe(snap(1, 8, 0, 0.9)); d.Action != ScaleNone || d.Reason != "at_max" {
+		t.Fatalf("at ceiling: want None/at_max, got %v/%s", d.Action, d.Reason)
+	}
+}
+
+func TestScaleDownClampsToMin(t *testing.T) {
+	c := MustController(testPolicy())
+	c.Observe(snap(0, 5, 0, 0.5))
+	d := c.Observe(snap(1, 5, 0, 0.1))
+	if d.Action != ScaleDown || d.Delta != 1 {
+		t.Fatalf("want ScaleDown delta 1, got %v delta %d", d.Action, d.Delta)
+	}
+	c2 := MustController(testPolicy())
+	c2.Observe(snap(0, 4, 0, 0.5))
+	if d := c2.Observe(snap(1, 4, 0, 0.1)); d.Action != ScaleNone || d.Reason != "at_min" {
+		t.Fatalf("at floor: want None/at_min, got %v/%s", d.Action, d.Reason)
+	}
+}
+
+func TestCooldownBetweenDecisions(t *testing.T) {
+	c := MustController(testPolicy())
+	c.Observe(snap(0, 4, 0, 0.5))
+	if d := c.Observe(snap(1, 4, 0, 0.9)); d.Action != ScaleUp {
+		t.Fatalf("want ScaleUp, got %v/%s", d.Action, d.Reason)
+	}
+	// Cooldown 2: epochs 2 and 3 are inside the window.
+	for e := int64(2); e <= 3; e++ {
+		if d := c.Observe(snap(e, 6, 0, 0.9)); d.Action != ScaleNone || d.Reason != "cooldown" {
+			t.Fatalf("epoch %d: want cooldown, got %v/%s", e, d.Action, d.Reason)
+		}
+	}
+	if d := c.Observe(snap(4, 6, 0, 0.9)); d.Action != ScaleUp {
+		t.Fatalf("after cooldown: want ScaleUp, got %v/%s", d.Action, d.Reason)
+	}
+}
+
+func TestHysteresisBandHolds(t *testing.T) {
+	c := MustController(testPolicy())
+	c.Observe(snap(0, 6, 0, 0.5))
+	// Anything in [0.35, 0.75) is steady: no oscillation.
+	for e := int64(1); e < 5; e++ {
+		u := 0.35 + 0.08*float64(e)
+		if d := c.Observe(snap(e, 6, 0, u)); d.Action != ScaleNone || d.Reason != "steady" {
+			t.Fatalf("epoch %d util %.2f: want steady, got %v/%s", e, u, d.Action, d.Reason)
+		}
+	}
+}
+
+func TestDrainInFlightBlocksDecisions(t *testing.T) {
+	c := MustController(testPolicy())
+	c.Observe(snap(0, 6, 0, 0.5))
+	if d := c.Observe(snap(1, 6, 1, 0.95)); d.Action != ScaleNone || d.Reason != "draining" {
+		t.Fatalf("with a drain in flight: want None/draining, got %v/%s", d.Action, d.Reason)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	c := MustController(testPolicy())
+	c.Observe(snap(0, 4, 0, 0.5))
+	c.Observe(snap(1, 4, 0, 0.9))  // up
+	c.Observe(snap(4, 6, 0, 0.1))  // down (past cooldown)
+	c.Observe(snap(7, 5, 0, 0.05)) // down
+	if c.ScaleUps() != 1 || c.ScaleDowns() != 2 {
+		t.Fatalf("counters: ups %d downs %d, want 1/2", c.ScaleUps(), c.ScaleDowns())
+	}
+}
+
+func TestUtilCountsDrainingLoadNotCapacity(t *testing.T) {
+	// 4 active + 1 draining, each pushing 500 ops/s at capacity 1000:
+	// demand 2500 over remaining capacity 4000 = 0.625.
+	s := Snapshot{ActiveRanks: 4, DrainingRanks: 1, Load: 2500, Capacity: 1000}
+	if got := s.Util(); got != 0.625 {
+		t.Fatalf("util = %g, want 0.625", got)
+	}
+	if (Snapshot{}).Util() != 0 {
+		t.Fatal("empty snapshot must have zero util")
+	}
+}

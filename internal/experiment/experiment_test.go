@@ -19,7 +19,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"table1", "fig2", "fig3", "fig4", "fig6", "fig7", "fig8",
 		"fig9", "fig10", "fig11", "fig12a", "fig12b",
-		"fig13a", "fig13b", "fig14", "overhead", "failover",
+		"fig13a", "fig13b", "fig14", "overhead", "failover", "elastic",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {
@@ -230,6 +230,32 @@ func TestFailoverZeroLostOps(t *testing.T) {
 				t.Fatalf("%s: reassign after %v ticks, want %d", key, r, failoverRecoveryTicks)
 			}
 		}
+	}
+}
+
+func TestElasticBeatsStaticFleets(t *testing.T) {
+	res, err := Run("elastic", Options{Scale: 0.25, Seed: 42, MaxTicks: 8000, Audit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One full cycle in one run: the controller grew for the burst and
+	// gracefully drained back to the floor afterwards.
+	if res.Values["elastic.scale_ups"] < 1 {
+		t.Fatal("autoscaler never scaled up during the burst")
+	}
+	if res.Values["elastic.drains"] < 1 {
+		t.Fatal("autoscaler never drained back down after the burst")
+	}
+	if got := res.Values["elastic.end_ranks"]; got != 4 {
+		t.Fatalf("elastic fleet settled at %v active ranks, want the floor 4", got)
+	}
+	// The economics: more capacity than static-4 when it matters...
+	if e, s := res.Values["elastic.jct50"], res.Values["static-4.jct50"]; e >= s {
+		t.Fatalf("elastic JCT p50 %v not better than static-4 %v", e, s)
+	}
+	// ...without paying static-16's idle-fleet bill.
+	if e, s := res.Values["elastic.rank_epochs"], res.Values["static-16.rank_epochs"]; e >= s {
+		t.Fatalf("elastic rank-epochs %v not below static-16 %v", e, s)
 	}
 }
 

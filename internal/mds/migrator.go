@@ -40,6 +40,12 @@ type ExportTask struct {
 	Inodes      int // counted at activation
 	PlannedLoad float64
 
+	// Drain marks a bulk export emptying a draining rank. Drain tasks
+	// are exempt from the queue TTL: the exporter is being retired, so
+	// "this plan went stale, drop it" does not apply — the subtree must
+	// leave no matter how long the queue is.
+	Drain bool
+
 	// frozeLogged dedups the freeze trace event: a task enters its
 	// commit window once, but the frozen set is rebuilt every tick.
 	frozeLogged bool
@@ -70,6 +76,12 @@ type Migrator struct {
 	// check at activation are dropped, never activated — a migration
 	// must not ship a subtree to a dead or nonexistent rank.
 	ValidRank func(namespace.MDSID) bool
+	// ValidImporter, when set, additionally gates the importer side at
+	// activation: a rank can be a legal exporter but an illegal import
+	// target (a draining rank being emptied must not receive new
+	// subtrees). Tasks whose importer fails it are dropped with reason
+	// "importer_excluded".
+	ValidImporter func(namespace.MDSID) bool
 	// Bus, when set, receives migration lifecycle trace events. A nil
 	// bus is the zero-cost disabled state.
 	Bus *obs.Bus
@@ -137,6 +149,16 @@ func (m *Migrator) Submit(key namespace.FragKey, from, to namespace.MDSID, plann
 	return t
 }
 
+// SubmitDrain enqueues a drain export: the same lifecycle as Submit,
+// but TTL-exempt (see ExportTask.Drain) — a draining rank may govern
+// far more subtrees than MaxActivePerExporter lets it ship inside one
+// queue-TTL window, and none of them may be forgotten.
+func (m *Migrator) SubmitDrain(key namespace.FragKey, from, to namespace.MDSID, plannedLoad float64, tick int64) *ExportTask {
+	t := m.Submit(key, from, to, plannedLoad, tick)
+	t.Drain = true
+	return t
+}
+
 // taskFields builds the shared payload of a migration event.
 func taskFields(t *ExportTask, extra obs.F) obs.F {
 	f := obs.F{
@@ -199,7 +221,7 @@ func (m *Migrator) Tick(tick int64) {
 	}
 	var remaining []*ExportTask
 	for _, t := range m.queued {
-		if m.QueueTTL > 0 && tick-t.SubmitTick >= m.QueueTTL {
+		if !t.Drain && m.QueueTTL > 0 && tick-t.SubmitTick >= m.QueueTTL {
 			m.drop(t, tick, "ttl")
 			continue
 		}
@@ -212,6 +234,13 @@ func (m *Migrator) Tick(tick int64) {
 			// Importer (or exporter) is dead or out of range: the task
 			// must never activate against an invalid endpoint.
 			m.drop(t, tick, "endpoint_down")
+			continue
+		}
+		if m.ValidImporter != nil && !m.ValidImporter(t.To) {
+			// The importer is alive but excluded (draining): a task
+			// planned before the drain started must not land new load
+			// on the rank being emptied.
+			m.drop(t, tick, "importer_excluded")
 			continue
 		}
 		if activePer[t.From] >= m.MaxActivePerExporter || m.frozen[t.Key] ||
@@ -404,6 +433,15 @@ func (m *Migrator) ActiveTasks() int { return len(m.active) }
 // this to reconcile the frozen set against the active commit windows.
 func (m *Migrator) ForEachActive(fn func(*ExportTask)) {
 	for _, t := range m.active {
+		fn(t)
+	}
+}
+
+// ForEachQueued visits every queued (not yet active) export task in
+// submission order. The callback must treat the task as read-only; the
+// state auditor uses this for the decommission invariants.
+func (m *Migrator) ForEachQueued(fn func(*ExportTask)) {
+	for _, t := range m.queued {
 		fn(t)
 	}
 }

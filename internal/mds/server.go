@@ -11,6 +11,43 @@ import (
 	"repro/internal/trace"
 )
 
+// RankState is the lifecycle state of an MDS rank.
+type RankState uint8
+
+// Rank lifecycle states. Legal transitions:
+//
+//	Active   -> Down            (Crash)
+//	Active   -> Draining        (StartDrain: elastic scale-down begins)
+//	Draining -> Down            (Crash mid-drain; the drain is cancelled)
+//	Draining -> Decommissioned  (Decommission: the rank governs nothing)
+//	Down     -> Active          (Rejoin)
+//
+// Decommissioned is terminal: the rank's slot stays in the server list
+// (rank IDs are stable indices) but it never serves, imports, or
+// rejoins again.
+const (
+	RankActive RankState = iota
+	RankDown
+	RankDraining
+	RankDecommissioned
+)
+
+// String renders the state for events and audit messages.
+func (s RankState) String() string {
+	switch s {
+	case RankActive:
+		return "active"
+	case RankDown:
+		return "down"
+	case RankDraining:
+		return "draining"
+	case RankDecommissioned:
+		return "decommissioned"
+	default:
+		return "invalid"
+	}
+}
+
 // Server is one metadata server (one MDS rank).
 type Server struct {
 	ID       namespace.MDSID
@@ -23,9 +60,9 @@ type Server struct {
 	fwdTotal    int64 // forwarding units served overall
 	stallsTotal int64 // requests stalled here (no budget or frozen target)
 
-	down      bool  // crashed: serves nothing until Rejoin
-	downTicks int64 // cumulative ticks spent down
-	crashes   int64 // lifecycle transitions up -> down
+	state     RankState // lifecycle state (see RankState)
+	downTicks int64     // cumulative ticks spent down
+	crashes   int64     // lifecycle transitions up -> down
 
 	collector      *trace.Collector
 	historyWindows int
@@ -66,17 +103,22 @@ func NewServer(id namespace.MDSID, capacity, historyWindows int, heatDecay float
 	}
 }
 
-// BeginTick resets the per-tick service budget. A down server gets no
-// budget: it serves nothing until it rejoins.
+// BeginTick resets the per-tick service budget. A down or
+// decommissioned server gets no budget; a draining one keeps serving
+// at full capacity until its last subtree has been exported.
 func (s *Server) BeginTick() {
-	if s.down {
+	switch s.state {
+	case RankDown:
 		s.budget = 0
 		s.opsTick = 0
 		s.downTicks++
-		return
+	case RankDecommissioned:
+		s.budget = 0
+		s.opsTick = 0
+	default:
+		s.budget = s.Capacity
+		s.opsTick = 0
 	}
-	s.budget = s.Capacity
-	s.opsTick = 0
 }
 
 // SetCapacity changes the server's per-tick capacity (heterogeneous
@@ -94,16 +136,54 @@ func (s *Server) SetCapacity(capacity int) (applied int, clamped bool) {
 	return capacity, clamped
 }
 
-// Up reports whether the server is alive (serving requests).
-func (s *Server) Up() bool { return !s.down }
+// Up reports whether the server is alive (serving requests). A
+// draining rank is still up — it serves everything it governs until
+// the drain empties it.
+func (s *Server) Up() bool { return s.state == RankActive || s.state == RankDraining }
+
+// State returns the rank's lifecycle state.
+func (s *Server) State() RankState { return s.state }
+
+// Draining reports whether the rank is being gracefully emptied.
+func (s *Server) Draining() bool { return s.state == RankDraining }
+
+// Decommissioned reports whether the rank has been retired.
+func (s *Server) Decommissioned() bool { return s.state == RankDecommissioned }
+
+// StartDrain moves an active rank into Draining: it keeps serving but
+// must no longer be chosen as an import target; the cluster bulk-
+// exports everything it governs. Returns false unless the rank was
+// Active.
+func (s *Server) StartDrain() bool {
+	if s.state != RankActive {
+		return false
+	}
+	s.state = RankDraining
+	return true
+}
+
+// Decommission retires a drained rank: it serves nothing, imports
+// nothing, and never rejoins. Returns false unless the rank was
+// Draining (a rank must be emptied before it is retired; the caller
+// checks it governs nothing).
+func (s *Server) Decommission() bool {
+	if s.state != RankDraining {
+		return false
+	}
+	s.state = RankDecommissioned
+	s.budget = 0
+	return true
+}
 
 // Crash takes the server down: its remaining budget is voided and it
-// serves nothing until Rejoin. Crashing a down server is a no-op.
+// serves nothing until Rejoin. A draining rank can crash (the drain is
+// cancelled; failover takes over its remaining subtrees). Crashing a
+// down or decommissioned server is a no-op.
 func (s *Server) Crash() {
-	if s.down {
+	if !s.Up() {
 		return
 	}
-	s.down = true
+	s.state = RankDown
 	s.budget = 0
 	s.crashes++
 }
@@ -112,12 +192,13 @@ func (s *Server) Crash() {
 // statistics are invalidated — a restarted MDS has an empty cache and
 // an empty journal of recent accesses, so stale pre-crash popularity
 // must not steer post-recovery balancing — and its load history is
-// cleared for the same reason. Rejoining an up server is a no-op.
+// cleared for the same reason. Rejoining a server that is not down
+// (including a decommissioned one) is a no-op.
 func (s *Server) Rejoin() {
-	if !s.down {
+	if s.state != RankDown {
 		return
 	}
-	s.down = false
+	s.state = RankActive
 	s.collector = trace.NewCollector(s.historyWindows)
 	s.heat = newHeatTable(s.heatDecay)
 	s.chainCache = make(map[namespace.Ino]*dirChain)

@@ -64,6 +64,17 @@ const (
 	// Client backoff transitions.
 	EvBackoffEnter Type = "backoff_enter" // fields: client, backoff, retry_at
 	EvBackoffExit  Type = "backoff_exit"  // fields: client, reason
+
+	// Elastic autoscaler events.
+	// EvScaleDecision is a non-None controller decision (fields:
+	// action, delta, reason, util, if, active, draining).
+	EvScaleDecision Type = "scale_decision"
+	// EvDrainStart marks a rank entering Draining (fields: rank,
+	// entries, unpinned).
+	EvDrainStart Type = "drain_start"
+	// EvDrainComplete marks a drained rank's decommission (fields:
+	// rank, entries, waited).
+	EvDrainComplete Type = "drain_complete"
 )
 
 // AllTypes lists every event type in a stable order.
@@ -74,6 +85,7 @@ func AllTypes() []Type {
 		EvMigrationCompleted, EvMigrationDropped, EvMigrationAborted,
 		EvCrash, EvRecover, EvTakeover,
 		EvBackoffEnter, EvBackoffExit,
+		EvScaleDecision, EvDrainStart, EvDrainComplete,
 	}
 }
 

@@ -61,6 +61,11 @@ func (v *View) Up(id namespace.MDSID) bool {
 	return int(id) < len(v.Servers) && v.Servers[id].Up()
 }
 
+// Importable implements balancer.View: up and not draining.
+func (v *View) Importable(id namespace.MDSID) bool {
+	return v.Up(id) && !v.Servers[id].Draining()
+}
+
 // Server implements balancer.View.
 func (v *View) Server(id namespace.MDSID) *mds.Server { return v.Servers[id] }
 
