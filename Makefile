@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench gobench audit fuzz elastic
+.PHONY: all build test vet race check bench gobench audit fuzz elastic replication
 
 all: check
 
@@ -24,9 +24,9 @@ check: build vet race
 # checked-in baseline: ns/tick ratios are informational (host-dependent),
 # but the run fails if any case's allocs/tick regresses by more than 10%.
 # Regenerate the baseline after an intentional change with
-# `go run ./cmd/lunule-bench -tickbench -tickbench-out BENCH_pr5.json`.
+# `go run ./cmd/lunule-bench -tickbench -tickbench-out BENCH_pr6.json`.
 bench:
-	$(GO) run ./cmd/lunule-bench -tickbench -tickbench-baseline BENCH_pr5.json
+	$(GO) run ./cmd/lunule-bench -tickbench -tickbench-baseline BENCH_pr6.json
 
 # elastic runs the audited autoscaler suite: the diurnal-wave experiment
 # (elastic vs static fleets) plus an audited scale-up/drain-down smoke of
@@ -34,6 +34,13 @@ bench:
 elastic:
 	$(GO) run ./cmd/lunule-bench -exp elastic -audit
 	$(GO) run ./cmd/lunule-sim -elastic -mds 4 -clients 48 -audit -audit-every-tick -maxticks 8000 >/dev/null
+
+# replication runs the audited warm-standby suite: the R=1/2/3 churn
+# experiment (warm promotion vs cold takeover) plus an audited R=2 CLI
+# smoke with a partition-scoped crash — both must exit clean.
+replication:
+	$(GO) run ./cmd/lunule-bench -exp replication -audit
+	$(GO) run ./cmd/lunule-sim -replication 2 -mds 5 -clients 16 -mtbf 300 -mttr 60 -recoveryticks 30 -audit -audit-every-tick -maxticks 2000 >/dev/null
 
 # gobench runs the in-package Go micro-benchmarks.
 gobench:

@@ -12,6 +12,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/elastic"
 	"repro/internal/experiment"
+	"repro/internal/replica"
 	"repro/internal/workload"
 )
 
@@ -40,9 +41,11 @@ type tickReport struct {
 // measured at steady state, never on a drained cluster.
 func tickWorkload(kind string) (workload.Generator, error) {
 	switch kind {
-	case "zipf", "elastic":
+	case "zipf", "elastic", "replication":
 		// "elastic" is the zipf cell with an autoscaler attached: it
 		// measures what the elastic observation path costs per tick.
+		// "replication" attaches an R=2 warm-standby manager instead: it
+		// prices the journal ship + reconcile pump at steady state.
 		return workload.NewZipf(workload.ZipfConfig{FilesPerClient: 500, OpsPerClient: 1 << 30}), nil
 	case "shareddir":
 		return workload.NewMDShared(workload.MDSharedConfig{CreatesPerClient: 1 << 30}), nil
@@ -67,14 +70,19 @@ func runTickCase(kind string, mds int, warmup, ticks int64) (tickCase, error) {
 		policy.MinRanks, policy.MaxRanks = mds, 2*mds
 		controller = elastic.MustController(policy)
 	}
+	var rep *replica.Manager
+	if kind == "replication" {
+		rep = replica.MustManager(replica.DefaultPolicy())
+	}
 	c, err := cluster.New(cluster.Config{
-		MDS:        mds,
-		Clients:    clients,
-		ClientRate: 150,
-		Seed:       42,
-		Balancer:   experiment.MakeBalancer("Lunule"),
-		Workload:   gen,
-		Elastic:    controller,
+		MDS:         mds,
+		Clients:     clients,
+		ClientRate:  150,
+		Seed:        42,
+		Balancer:    experiment.MakeBalancer("Lunule"),
+		Workload:    gen,
+		Elastic:     controller,
+		Replication: rep,
 	})
 	if err != nil {
 		return tickCase{}, err
@@ -117,7 +125,7 @@ func runTickBench(stdout io.Writer, ticks int64, outPath, baselinePath string, m
 		ticks = 300
 	}
 	rep := tickReport{Go: runtime.Version(), Ticks: ticks}
-	for _, kind := range []string{"zipf", "shareddir", "elastic"} {
+	for _, kind := range []string{"zipf", "shareddir", "elastic", "replication"} {
 		for _, mds := range []int{4, 8, 16} {
 			tc, err := runTickCase(kind, mds, 100, ticks)
 			if err != nil {

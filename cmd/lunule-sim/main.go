@@ -28,6 +28,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/replica"
 	"repro/internal/rng"
 	"repro/internal/workload"
 )
@@ -56,13 +57,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ifCSV     = fs.String("ifcsv", "", "write the per-epoch imbalance series to this CSV file")
 		traceFile = fs.String("tracefile", "", "replay this op trace instead of a synthetic workload (see lunule-trace -export)")
 		pins      = fs.String("pin", "", "comma-separated static subtree pins, e.g. /zipf/client000=1,/web=2 (ceph.dir.pin)")
-		crashes   = fs.String("crash", "", "comma-separated MDS crashes as tick:rank (rank 'hot' = hottest live rank), e.g. 100:1,400:hot")
+		crashes   = fs.String("crash", "", "comma-separated MDS crashes as tick:rank (rank 'hot' = hottest live rank, or a /path = whichever rank governs the path at the crash tick), e.g. 100:1,400:hot,600:/zipf/client000")
 		recovers  = fs.String("recover", "", "comma-separated MDS recoveries as tick:rank, e.g. 300:1")
 		mtbf      = fs.Float64("mtbf", 0, "random failures: mean ticks between failures per rank (0 = off)")
 		mttr      = fs.Float64("mttr", 0, "random failures: mean ticks to repair (default mtbf/10)")
 		recoveryT = fs.Int("recoveryticks", 0, "failover takeover latency window in ticks (default 20)")
 		auditOn   = fs.Bool("audit", false, "validate cross-module invariants at every epoch; violations fail the run")
 		auditTick = fs.Bool("audit-every-tick", false, "with -audit, run the invariant checks every tick instead of every epoch")
+
+		replicationR   = fs.Int("replication", 1, "subtree replication factor R: 1 = off (cold takeover only), >=2 keeps R-1 warm standbys per subtree")
+		replShipEvery  = fs.Int64("replication-ship", 5, "with -replication >= 2, journal ship interval in ticks")
+		replPromote    = fs.Int("replication-promote", 2, "with -replication >= 2, ticks after a crash before standbys promote (keep below -recoveryticks)")
+		replResyncRate = fs.Int("replication-resync", 2000, "with -replication >= 2, inodes per tick one background re-replication sync copies")
 
 		elasticOn   = fs.Bool("elastic", false, "enable the MDS autoscaler: grow under saturation, gracefully drain ranks when idle (-mds is the starting size)")
 		elasticMin  = fs.Int("elastic-min", 0, "with -elastic, rank floor (default: the starting -mds count)")
@@ -116,6 +122,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var auditor *audit.Auditor
 	if *auditOn {
 		auditor = audit.New(audit.Options{EveryTick: *auditTick})
+	}
+
+	var rep *replica.Manager
+	if *replicationR > 1 {
+		pol := replica.DefaultPolicy()
+		pol.R = *replicationR
+		pol.ShipEvery = *replShipEvery
+		pol.PromoteTicks = *replPromote
+		pol.ResyncRate = *replResyncRate
+		var err error
+		rep, err = replica.NewManager(pol)
+		if err != nil {
+			return fail(err)
+		}
+	} else if *replShipEvery != 5 || *replPromote != 2 || *replResyncRate != 2000 {
+		return fail(fmt.Errorf("-replication-ship/-replication-promote/-replication-resync need -replication >= 2"))
 	}
 
 	var controller *elastic.Controller
@@ -210,6 +232,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Bus:           bus,
 		Audit:         auditor,
 		Elastic:       controller,
+		Replication:   rep,
 	})
 	if err != nil {
 		return fail(err)
@@ -269,6 +292,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if down := c.DownRanks(); len(down) > 0 {
 			tbl.Add("still down at end", fmt.Sprint(down))
 		}
+	}
+	if rep != nil {
+		tbl.Add("replication factor", fmt.Sprintf("R=%d (%d groups)", rep.Policy().R, rep.Groups()))
+		tbl.Add("warm promotions", fmt.Sprintf("%d (warm recoveries: %d)", c.Promotions(), rec.WarmRecoveries()))
+		tbl.Add("resyncs started / done", fmt.Sprintf("%d / %d", rep.ResyncsStarted(), rep.ResyncsDone()))
+		tbl.Add("journal records / max lag", fmt.Sprintf("%d / %d", rep.Records(), rep.MaxLag()))
 	}
 	if controller != nil {
 		tbl.Add("scale-ups applied", fmt.Sprintf("%d", c.ScaleUps()))

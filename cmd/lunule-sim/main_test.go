@@ -82,4 +82,38 @@ func TestBadFlagsFail(t *testing.T) {
 	if !strings.Contains(stderr.String(), "bogus") {
 		t.Fatalf("diagnostic should name the bad type, got: %s", stderr.String())
 	}
+	stderr.Reset()
+	if code := run([]string{"-replication-promote", "5"}, &stdout, &stderr); code == 0 {
+		t.Fatal("-replication-promote without -replication must fail")
+	}
+	stderr.Reset()
+	if code := run([]string{"-replication", "2", "-replication-promote", "0"}, &stdout, &stderr); code == 0 {
+		t.Fatal("invalid replication policy must fail")
+	}
+}
+
+// TestReplicatedRunWithPathCrash smoke-tests the replication flags
+// end-to-end: an audited R=2 run with a partition-scoped crash exits
+// clean and reports the replication summary rows.
+func TestReplicatedRunWithPathCrash(t *testing.T) {
+	args := []string{
+		"-workload", "zipf", "-mds", "3", "-clients", "6",
+		"-rate", "5", "-scale", "0.02", "-seed", "7",
+		"-replication", "2", "-crash", "30:/zipf/client000",
+		"-recoveryticks", "25", "-audit", "-audit-every-tick",
+		"-maxticks", "600",
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("run exited %d, stderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, row := range []string{"replication factor", "warm promotions", "resyncs started / done", "journal records / max lag"} {
+		if !strings.Contains(out, row) {
+			t.Fatalf("summary missing %q:\n%s", row, out)
+		}
+	}
+	if !strings.Contains(out, "MDS crashes") {
+		t.Fatalf("path crash never fired:\n%s", out)
+	}
 }

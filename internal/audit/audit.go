@@ -19,6 +19,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/mds"
 	"repro/internal/namespace"
+	"repro/internal/replica"
 )
 
 // Violation is one invariant failure found by an audit pass.
@@ -133,6 +134,9 @@ type State struct {
 	// because the name raced into existence (the one legitimate gap
 	// between client ops-done and server ops-served).
 	RacedCreates int64
+	// Replicas is the warm-standby replication manager; nil skips the
+	// replica invariant family.
+	Replicas *replica.Manager
 }
 
 // Check runs every invariant over the state and returns how many new
@@ -151,7 +155,109 @@ func (a *Auditor) Check(s State) int {
 	a.checkHeat(s)
 	a.checkOps(s)
 	a.checkLifecycle(s)
+	a.checkReplicas(s)
 	return len(a.violations) - before
+}
+
+// checkReplicas validates the warm-standby replication invariants.
+// R-conservation ("replica/conservation"): every partition entry has
+// exactly one group led by its authoritative rank, group size never
+// exceeds R, standbys are distinct live ranks different from the
+// primary. Journal divergence ("replica/divergence"): a synced
+// standby's applied sequence never passes the journal head and lags it
+// by at most one record (the ship loop applies the outstanding tail
+// before appending), and its applied (ops, heat) state equals the
+// journal's prefix sums at its applied sequence — the state a
+// promotion would install.
+func (a *Auditor) checkReplicas(s State) {
+	if s.Replicas == nil {
+		return
+	}
+	pol := s.Replicas.Policy()
+	entries := s.Partition.Entries()
+	auth := make(map[namespace.FragKey]namespace.MDSID, len(entries))
+	for _, e := range entries {
+		auth[e.Key] = e.Auth
+	}
+	groups := 0
+	s.Replicas.ForEachGroup(func(g *replica.Group) {
+		groups++
+		want, ok := auth[g.Key]
+		switch {
+		case !ok:
+			a.failf(s.Tick, "replica/conservation",
+				"group %v/%s has no partition entry", g.Key.Dir, g.Key.Frag)
+		case want != g.Primary:
+			a.failf(s.Tick, "replica/conservation",
+				"group %v/%s primary %d != authoritative rank %d",
+				g.Key.Dir, g.Key.Frag, g.Primary, want)
+		}
+		if 1+len(g.Standbys) > pol.R {
+			a.failf(s.Tick, "replica/conservation",
+				"group %v/%s has %d members, R=%d",
+				g.Key.Dir, g.Key.Frag, 1+len(g.Standbys), pol.R)
+		}
+		seen := make(map[namespace.MDSID]bool, len(g.Standbys))
+		for _, sb := range g.Standbys {
+			if sb.Rank == g.Primary {
+				a.failf(s.Tick, "replica/conservation",
+					"group %v/%s standby %d is its own primary",
+					g.Key.Dir, g.Key.Frag, sb.Rank)
+			}
+			if seen[sb.Rank] {
+				a.failf(s.Tick, "replica/conservation",
+					"group %v/%s has duplicate standby %d",
+					g.Key.Dir, g.Key.Frag, sb.Rank)
+			}
+			seen[sb.Rank] = true
+			if int(sb.Rank) < 0 || int(sb.Rank) >= len(s.Servers) ||
+				!s.Servers[sb.Rank].Up() {
+				a.failf(s.Tick, "replica/conservation",
+					"group %v/%s standby on dead rank %d",
+					g.Key.Dir, g.Key.Frag, sb.Rank)
+			}
+			if sb.Syncing {
+				continue
+			}
+			if sb.Applied > g.Appended() {
+				a.failf(s.Tick, "replica/divergence",
+					"group %v/%s standby %d applied %d past journal head %d",
+					g.Key.Dir, g.Key.Frag, sb.Rank, sb.Applied, g.Appended())
+				continue
+			}
+			if lag := g.Appended() - sb.Applied; lag > 1 {
+				a.failf(s.Tick, "replica/divergence",
+					"group %v/%s standby %d lags %d records (bound 1)",
+					g.Key.Dir, g.Key.Frag, sb.Rank, lag)
+			}
+			ops, heat, ok := g.PrefixAt(sb.Applied)
+			if !ok {
+				a.failf(s.Tick, "replica/divergence",
+					"group %v/%s journal truncated past standby %d's applied seq %d",
+					g.Key.Dir, g.Key.Frag, sb.Rank, sb.Applied)
+				continue
+			}
+			if sb.Ops != ops {
+				a.failf(s.Tick, "replica/divergence",
+					"group %v/%s standby %d applied ops %d != journal prefix %d",
+					g.Key.Dir, g.Key.Frag, sb.Rank, sb.Ops, ops)
+			}
+			if d := sb.Heat - heat; d > 1e-6 || d < -1e-6 {
+				a.failf(s.Tick, "replica/divergence",
+					"group %v/%s standby %d applied heat %g != journal prefix %g",
+					g.Key.Dir, g.Key.Frag, sb.Rank, sb.Heat, heat)
+			}
+			if sb.Heat < -1e-9 {
+				a.failf(s.Tick, "replica/divergence",
+					"group %v/%s standby %d has negative heat %g",
+					g.Key.Dir, g.Key.Frag, sb.Rank, sb.Heat)
+			}
+		}
+	})
+	if groups != len(entries) {
+		a.failf(s.Tick, "replica/conservation",
+			"%d replication groups for %d partition entries", groups, len(entries))
+	}
 }
 
 // checkLifecycle validates the elastic drain/decommission invariants:

@@ -22,6 +22,7 @@ import (
 	"repro/internal/namespace"
 	"repro/internal/obs"
 	"repro/internal/osd"
+	"repro/internal/replica"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -103,6 +104,14 @@ type Config struct {
 	// then it is decommissioned and leaves the balancer's view). nil
 	// keeps the fixed-size behaviour at zero cost.
 	Elastic *elastic.Controller
+	// Replication optionally attaches a warm-standby replication
+	// manager: every subtree entry gets R−1 standbys following the
+	// primary through a shipped ops/heat journal, a crash promotes the
+	// best surviving standby PromoteTicks later instead of waiting out
+	// the cold RecoveryTicks takeover, and a background re-replicator
+	// restores R after losses and drains. nil (the R=1 cluster) keeps
+	// the cold-takeover behaviour at zero tick-path cost.
+	Replication *replica.Manager
 }
 
 func (c *Config) defaults() {
@@ -216,6 +225,15 @@ type Cluster struct {
 	scaleUps   int64
 	drainsDone int64
 
+	// Replication state: the manager (nil = R=1, no replication), the
+	// partition version its groups were last reconciled against, the
+	// environment closures built once at init, and the cumulative
+	// warm-promotion counter.
+	rep        *replica.Manager
+	repVersion uint64
+	repEnv     replica.Env
+	promotions int64
+
 	// events holds scheduled cluster mutations (MDS additions,
 	// capacity changes, crashes, recoveries), fired at the top of their
 	// tick in submission order.
@@ -295,6 +313,10 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	for i, sp := range specs {
 		cl.clients = append(cl.clients, client.New(i, sp, cfg.ClientRate))
+	}
+	if cfg.Replication != nil {
+		cl.rep = cfg.Replication
+		cl.initReplication()
 	}
 	if cfg.Faults != nil {
 		cl.ApplyFaults(*cfg.Faults)
@@ -435,6 +457,16 @@ func (c *Cluster) CrashMDS(rank int) bool {
 	c.events.Schedule(crashedAt+int64(c.cfg.RecoveryTicks), func() {
 		c.reassignOrphans(id, crashedAt)
 	})
+	if c.rep != nil {
+		// The dead rank's replica state is gone: drop it from every
+		// standby set, and schedule the warm promotion pass well inside
+		// the cold window. Whatever it still leads then moves to synced
+		// standbys; the rest waits for the cold takeover above.
+		c.rep.DropRank(id)
+		c.events.Schedule(crashedAt+int64(c.rep.Policy().PromoteTicks), func() {
+			c.promoteReplicas(id, crashedAt)
+		})
+	}
 	if c.bus.Enabled(obs.EvCrash) {
 		c.bus.Emit(obs.Event{Tick: crashedAt, Type: obs.EvCrash,
 			Fields: obs.F{"rank": rank, "live": live - 1, "aborted": aborted}})
@@ -517,10 +549,44 @@ func (c *Cluster) ScheduleRecover(tick int64, rank int) {
 	c.events.Schedule(tick, func() { c.RecoverMDS(rank) })
 }
 
+// CrashPathOwner crashes whichever rank is currently authoritative for
+// the directory path — the partition-scoped fault: it follows the
+// subtree wherever the balancer has placed it. A subtree entry carved
+// at the path itself wins (that rank governs the path's contents);
+// otherwise the fault falls on the rank governing the path inode. It
+// returns the crashed rank, or -1 when the path does not resolve or
+// the rank cannot crash (already down, or the last survivor).
+func (c *Cluster) CrashPathOwner(path string) int {
+	in, err := c.tree.Lookup(path)
+	if err != nil {
+		return -1
+	}
+	var entry namespace.Entry
+	if e, ok := c.part.EntryAt(namespace.FragKey{Dir: in.Ino, Frag: namespace.WholeFrag}); ok {
+		entry = e
+	} else if c.resolver != nil {
+		entry = c.resolver.Entry(in)
+	} else {
+		entry = c.part.GoverningEntry(in)
+	}
+	if c.CrashMDS(int(entry.Auth)) {
+		return int(entry.Auth)
+	}
+	return -1
+}
+
+// ScheduleCrashPath arranges for the rank authoritative for path to
+// crash at the tick (partition-scoped fault injection).
+func (c *Cluster) ScheduleCrashPath(tick int64, path string) {
+	c.events.Schedule(tick, func() { c.CrashPathOwner(path) })
+}
+
 // ApplyFaults schedules every event of the fault schedule.
 func (c *Cluster) ApplyFaults(s fault.Schedule) {
 	for _, ev := range s.Events {
 		switch {
+		case ev.Kind == fault.Crash && ev.Path != "":
+			c.ScheduleCrashPath(ev.Tick, ev.Path)
 		case ev.Kind == fault.Crash && ev.Rank == fault.HottestRank:
 			c.ScheduleCrashHottest(ev.Tick)
 		case ev.Kind == fault.Crash:
@@ -733,6 +799,11 @@ func (c *Cluster) StartDrain(rank int) bool {
 	}
 	entries := len(c.part.EntriesOf(id))
 	c.draining[id] = &drainState{startTick: c.tick, startEntries: entries}
+	if c.rep != nil {
+		// A draining rank is leaving: its standby copies retire with it
+		// and the re-replicator restores R on ranks that stay.
+		c.rep.DropRank(id)
+	}
 	if c.bus.Enabled(obs.EvDrainStart) {
 		c.bus.Emit(obs.Event{Tick: c.tick, Type: obs.EvDrainStart,
 			Fields: obs.F{"rank": rank, "entries": entries, "unpinned": unpinned}})
@@ -971,6 +1042,12 @@ func (c *Cluster) Step() {
 	if (tick+1)%int64(c.cfg.EpochTicks) == 0 {
 		c.endEpoch(tick, epoch)
 	}
+	if c.rep != nil {
+		// After the epoch close so balancer carves and drain exports
+		// from this tick are already in the partition the groups
+		// reconcile against (and the auditor sees groups == entries).
+		c.pumpReplication(tick)
+	}
 	if c.auditor != nil &&
 		(c.auditor.EveryTick() || (tick+1)%int64(c.cfg.EpochTicks) == 0) {
 		c.auditor.Check(audit.State{
@@ -984,6 +1061,7 @@ func (c *Cluster) Step() {
 			Orphaned:     c.orphanFn,
 			Forwards:     c.forwards,
 			RacedCreates: c.racedCreates,
+			Replicas:     c.rep,
 		})
 	}
 	c.tick++
@@ -1203,9 +1281,9 @@ func (v *view) Up(id namespace.MDSID) bool {
 	return int(id) < len(v.c.servers) && v.c.servers[id].Up()
 }
 func (v *view) Importable(id namespace.MDSID) bool { return v.c.importable(id) }
-func (v *view) Partition() *namespace.Partition { return v.c.part }
-func (v *view) Migrator() *mds.Migrator         { return v.c.migrator }
-func (v *view) Capacity() float64               { return float64(v.c.cfg.Capacity) }
-func (v *view) HeatDecay() float64              { return v.c.cfg.HeatDecay }
-func (v *view) Rand() *rng.Source               { return v.c.rand }
-func (v *view) Ledger() *msg.Ledger             { return v.c.ledger }
+func (v *view) Partition() *namespace.Partition    { return v.c.part }
+func (v *view) Migrator() *mds.Migrator            { return v.c.migrator }
+func (v *view) Capacity() float64                  { return float64(v.c.cfg.Capacity) }
+func (v *view) HeatDecay() float64                 { return v.c.cfg.HeatDecay }
+func (v *view) Rand() *rng.Source                  { return v.c.rand }
+func (v *view) Ledger() *msg.Ledger                { return v.c.ledger }

@@ -95,3 +95,93 @@ func TestTakeoverUsesCrashTimeLoad(t *testing.T) {
 		t.Fatalf("want exactly 1 recovery event, got %d", got)
 	}
 }
+
+// TestRecoverAfterTakeoverDeadlineRejoinsEmpty is the late-rejoin
+// regression: a rank that comes back only after the takeover deadline
+// has fired must rejoin the cluster empty-handed. Its former subtrees
+// stay exactly where the takeover put them — no double-ownership, no
+// second reassignment — and the rejoiner serves again as a fresh rank.
+func TestRecoverAfterTakeoverDeadlineRejoinsEmpty(t *testing.T) {
+	const (
+		pinned  = 6
+		window  = 10
+		crashAt = 25
+		doomed  = 2
+	)
+	c := newTestCluster(t, Config{
+		MDS:           3,
+		Clients:       12,
+		RecoveryTicks: window,
+		Balancer:      nullBalancer{}, // only the takeover moves entries
+		Workload: workload.NewZipf(workload.ZipfConfig{
+			FilesPerClient: 200,
+			OpsPerClient:   30000,
+		}),
+	})
+	var keys []namespace.FragKey
+	for i := 0; i < pinned; i++ {
+		path := fmt.Sprintf("/zipf/client%03d", i)
+		if err := c.PinPath(path, doomed); err != nil {
+			t.Fatal(err)
+		}
+		in, err := c.Tree().Lookup(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, namespace.FragKey{Dir: in.Ino, Frag: namespace.WholeFrag})
+	}
+
+	c.Run(crashAt)
+	if !c.CrashMDS(doomed) {
+		t.Fatal("crash refused")
+	}
+	c.Run(window + 2) // the takeover deadline fires: orphans move to survivors
+	if got := len(c.Partition().EntriesOf(doomed)); got != 0 {
+		t.Fatalf("takeover incomplete: %d entries still on the dead rank", got)
+	}
+
+	if !c.RecoverMDS(doomed) {
+		t.Fatal("late rejoin refused")
+	}
+	if got := len(c.Partition().EntriesOf(doomed)); got != 0 {
+		t.Fatalf("late rejoiner came back owning %d entries, want 0", got)
+	}
+	owners := make(map[namespace.FragKey]namespace.MDSID, pinned)
+	for _, key := range keys {
+		e, ok := c.Partition().EntryAt(key)
+		if !ok {
+			t.Fatalf("pinned entry %v vanished across crash+rejoin", key)
+		}
+		if int(e.Auth) == doomed {
+			t.Fatalf("entry %v back on the rejoined rank: takeover result must stick", key)
+		}
+		owners[key] = e.Auth
+	}
+	if got := len(c.Metrics().RecoveryEvents()); got != 1 {
+		t.Fatalf("recovery events = %d, want exactly 1 (rejoin must not re-reassign)", got)
+	}
+
+	// The taken-over placement is stable: running on moves nothing back.
+	c.Run(3 * window)
+	for _, key := range keys {
+		e, ok := c.Partition().EntryAt(key)
+		if !ok || e.Auth != owners[key] {
+			t.Fatalf("entry %v moved after the rejoin (%v -> %v)", key, owners[key], e.Auth)
+		}
+	}
+
+	c.RunUntilDone(30000)
+	if !c.Done() {
+		t.Fatal("clients must finish")
+	}
+	var clientOps, served int64
+	for _, cl := range c.Clients() {
+		clientOps += cl.OpsDone()
+	}
+	for _, s := range c.Servers() {
+		served += s.OpsTotal()
+	}
+	if clientOps != served {
+		t.Fatalf("client ops %d != served ops %d: the late rejoin lost or duplicated work", clientOps, served)
+	}
+}

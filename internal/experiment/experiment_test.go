@@ -20,6 +20,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table1", "fig2", "fig3", "fig4", "fig6", "fig7", "fig8",
 		"fig9", "fig10", "fig11", "fig12a", "fig12b",
 		"fig13a", "fig13b", "fig14", "overhead", "failover", "elastic",
+		"replication",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {
@@ -256,6 +257,44 @@ func TestElasticBeatsStaticFleets(t *testing.T) {
 	// ...without paying static-16's idle-fleet bill.
 	if e, s := res.Values["elastic.rank_epochs"], res.Values["static-16.rank_epochs"]; e >= s {
 		t.Fatalf("elastic rank-epochs %v not below static-16 %v", e, s)
+	}
+}
+
+func TestReplicationWarmBeatsCold(t *testing.T) {
+	res, err := Run("replication", Options{Scale: 0.25, Seed: 42, MaxTicks: 8000, Audit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []string{"r1", "r2", "r3"} {
+		if res.Values[r+".done"] != 1 {
+			t.Fatalf("%s: clients unfinished — lost ops under churn", r)
+		}
+	}
+	// The scenario must actually exercise both paths: cold takeovers at
+	// R=1, warm promotions at R=2.
+	if res.Values["r1.cold"] == 0 {
+		t.Fatal("R=1 cell saw no cold takeovers — churn proves too little")
+	}
+	if res.Values["r1.warm"] != 0 {
+		t.Fatal("R=1 cell recorded warm recoveries without a manager")
+	}
+	if res.Values["r2.warm"] == 0 || res.Values["r2.promotions"] == 0 {
+		t.Fatal("R=2 cell never promoted a standby")
+	}
+	// The headline claims: warm failover collapses recovery latency and
+	// the stalls (and therefore JCT) that ride on it.
+	if w, c := res.Values["r2.reassign"], res.Values["r1.reassign"]; w >= c {
+		t.Fatalf("R=2 mean reassign %v not below cold %v", w, c)
+	}
+	if w, c := res.Values["r2.stalled"], res.Values["r1.stalled"]; w >= c {
+		t.Fatalf("R=2 stalled ops %v not below cold %v", w, c)
+	}
+	if w, c := res.Values["r2.jct50"], res.Values["r1.jct50"]; w > c {
+		t.Fatalf("R=2 JCT p50 %v worse than cold %v", w, c)
+	}
+	// Losing a standby under churn must trigger background re-replication.
+	if res.Values["r2.resyncs"] == 0 {
+		t.Fatal("R=2 cell never re-replicated after a loss")
 	}
 }
 

@@ -52,6 +52,13 @@ type Event struct {
 	Tick int64
 	Rank int // MDS rank, or HottestRank for a crash of the hottest rank
 	Kind Kind
+	// Path, when non-empty on a Crash event, makes the fault
+	// partition-scoped instead of rank-scoped: the cluster crashes
+	// whichever rank is authoritative for the path at the event tick
+	// (Rank is ignored). This targets a subtree regardless of where the
+	// balancer has placed it — the adversarial fault a replicated
+	// subtree must survive.
+	Path string
 }
 
 // Schedule is an ordered list of fault events. The zero value is an
@@ -69,6 +76,13 @@ func (s *Schedule) Crash(tick int64, rank int) *Schedule {
 // CrashHottest appends a crash of the hottest live rank at tick.
 func (s *Schedule) CrashHottest(tick int64) *Schedule {
 	return s.Crash(tick, HottestRank)
+}
+
+// CrashPath appends a partition-scoped crash at tick: whichever rank
+// is authoritative for the path when the event fires goes down.
+func (s *Schedule) CrashPath(tick int64, path string) *Schedule {
+	s.Events = append(s.Events, Event{Tick: tick, Rank: HottestRank, Kind: Crash, Path: path})
+	return s
 }
 
 // Recover appends a recovery of rank at tick and returns the schedule.
@@ -95,18 +109,68 @@ func (s *Schedule) Merge(other Schedule) {
 	s.Sort()
 }
 
-// Validate checks that every event names a rank in [0, ranks) (crash
-// events may also use HottestRank) and a non-negative tick.
+// Validate checks the schedule for the mistakes fault scripts actually
+// make:
+//
+//   - negative ticks;
+//   - ranks outside [0, ranks) — crash events may instead use
+//     HottestRank or a Path, which resolve to a rank at fire time;
+//   - a Path on anything but a crash (a recovery must name the rank
+//     that is down, not a subtree that has long since moved);
+//   - duplicate events: two events at the same tick against the same
+//     target (same rank, both wildcards, or the same path) — the second
+//     silently no-ops at runtime, which always means a typo'd script;
+//   - a recovery with nothing to recover: a Recover for a rank with no
+//     strictly-earlier Crash that could have taken it down. Wildcard
+//     crashes (hottest or path-scoped) resolve their rank at fire time,
+//     so any earlier wildcard makes a later recovery plausible.
 func (s *Schedule) Validate(ranks int) error {
+	type target struct {
+		tick int64
+		rank int
+		path string
+	}
+	seen := make(map[target]bool, len(s.Events))
 	for _, ev := range s.Events {
 		if ev.Tick < 0 {
 			return fmt.Errorf("fault: negative tick %d", ev.Tick)
 		}
-		if ev.Rank == HottestRank && ev.Kind == Crash {
-			continue
+		if ev.Path != "" && ev.Kind != Crash {
+			return fmt.Errorf("fault: %s at tick %d names path %q (paths are only valid for crashes)",
+				ev.Kind, ev.Tick, ev.Path)
 		}
-		if ev.Rank < 0 || ev.Rank >= ranks {
+		wildcard := ev.Kind == Crash && (ev.Path != "" || ev.Rank == HottestRank)
+		if !wildcard && (ev.Rank < 0 || ev.Rank >= ranks) {
 			return fmt.Errorf("fault: %s rank %d out of range [0,%d)", ev.Kind, ev.Rank, ranks)
+		}
+		t := target{tick: ev.Tick, rank: ev.Rank, path: ev.Path}
+		if seen[t] {
+			if ev.Path != "" {
+				return fmt.Errorf("fault: duplicate events at tick %d for path %q", ev.Tick, ev.Path)
+			}
+			return fmt.Errorf("fault: duplicate events at tick %d for rank %d", ev.Tick, ev.Rank)
+		}
+		seen[t] = true
+	}
+	// Order-sensitive pass: recoveries need an earlier crash. Work on a
+	// sorted copy so validation does not depend on submission order.
+	sorted := append([]Event(nil), s.Events...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Tick < sorted[j].Tick })
+	crashed := make(map[int]bool, ranks)
+	wildcardAt := int64(-1)
+	for _, ev := range sorted {
+		switch {
+		case ev.Kind == Crash && (ev.Path != "" || ev.Rank == HottestRank):
+			if wildcardAt < 0 {
+				wildcardAt = ev.Tick
+			}
+		case ev.Kind == Crash:
+			crashed[ev.Rank] = true
+		case ev.Kind == Recover:
+			if !crashed[ev.Rank] && (wildcardAt < 0 || wildcardAt >= ev.Tick) {
+				return fmt.Errorf("fault: recover of rank %d at tick %d before any crash that could take it down",
+					ev.Rank, ev.Tick)
+			}
 		}
 	}
 	return nil
@@ -114,7 +178,9 @@ func (s *Schedule) Validate(ranks int) error {
 
 // ParseSpecs parses a comma-separated list of "tick:rank" specs into
 // events of the given kind, e.g. "100:1,400:0". For crash events the
-// rank may be "hot", selecting the hottest live rank at the crash tick.
+// rank may be "hot", selecting the hottest live rank at the crash
+// tick, or a "/path", crashing whichever rank is authoritative for the
+// path at the crash tick (partition-scoped fault injection).
 func ParseSpecs(spec string, kind Kind) (Schedule, error) {
 	var s Schedule
 	if strings.TrimSpace(spec) == "" {
@@ -131,9 +197,13 @@ func ParseSpecs(spec string, kind Kind) (Schedule, error) {
 			return Schedule{}, fmt.Errorf("fault: bad tick in %s spec %q", kind, part)
 		}
 		var rank int
-		if fields[1] == "hot" {
+		if fields[1] == "hot" || strings.HasPrefix(fields[1], "/") {
 			if kind != Crash {
 				return Schedule{}, fmt.Errorf("fault: %q only valid for crash specs", part)
+			}
+			if strings.HasPrefix(fields[1], "/") {
+				s.Events = append(s.Events, Event{Tick: tick, Rank: HottestRank, Kind: Crash, Path: fields[1]})
+				continue
 			}
 			rank = HottestRank
 		} else {

@@ -76,6 +76,133 @@ func TestValidateRange(t *testing.T) {
 	}
 }
 
+// TestValidateDuplicatesAndOrdering is the table test for the two
+// script mistakes Validate rejects beyond range errors: duplicate
+// same-tick same-target events, and recoveries with no earlier crash
+// that could have taken the rank down.
+func TestValidateDuplicatesAndOrdering(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() Schedule
+		ok    bool
+	}{
+		{"duplicate crash same tick same rank", func() Schedule {
+			var s Schedule
+			s.Crash(10, 1).Crash(10, 1)
+			return s
+		}, false},
+		{"crash and recover same tick same rank", func() Schedule {
+			var s Schedule
+			s.Crash(10, 1).Recover(10, 1)
+			return s
+		}, false},
+		{"duplicate hottest crash same tick", func() Schedule {
+			var s Schedule
+			s.CrashHottest(10).CrashHottest(10)
+			return s
+		}, false},
+		{"duplicate path crash same tick", func() Schedule {
+			var s Schedule
+			s.CrashPath(10, "/a").CrashPath(10, "/a")
+			return s
+		}, false},
+		{"same tick different ranks", func() Schedule {
+			var s Schedule
+			s.Crash(10, 1).Crash(10, 2)
+			return s
+		}, true},
+		{"same tick hottest plus concrete", func() Schedule {
+			var s Schedule
+			s.CrashHottest(10).Crash(10, 2)
+			return s
+		}, true},
+		{"same tick different paths", func() Schedule {
+			var s Schedule
+			s.CrashPath(10, "/a").CrashPath(10, "/b")
+			return s
+		}, true},
+		{"same target different ticks", func() Schedule {
+			var s Schedule
+			s.Crash(10, 1).Recover(20, 1).Crash(30, 1)
+			return s
+		}, true},
+		{"recover before any crash", func() Schedule {
+			var s Schedule
+			s.Recover(10, 1)
+			return s
+		}, false},
+		{"recover before its crash", func() Schedule {
+			var s Schedule
+			s.Crash(50, 1).Recover(10, 1)
+			return s
+		}, false},
+		{"recover of the wrong rank", func() Schedule {
+			var s Schedule
+			s.Crash(10, 1).Recover(20, 2)
+			return s
+		}, false},
+		{"recover out of submission order still valid", func() Schedule {
+			var s Schedule
+			s.Recover(20, 1).Crash(10, 1) // validation sorts by tick
+			return s
+		}, true},
+		{"wildcard crash authorizes later recover", func() Schedule {
+			var s Schedule
+			s.CrashHottest(10).Recover(20, 0)
+			return s
+		}, true},
+		{"path crash authorizes later recover", func() Schedule {
+			var s Schedule
+			s.CrashPath(10, "/a").Recover(20, 2)
+			return s
+		}, true},
+		{"wildcard crash at the recover tick is not earlier", func() Schedule {
+			var s Schedule
+			s.CrashHottest(10).Recover(10, 0)
+			return s
+		}, false},
+		{"path on a recover", func() Schedule {
+			var s Schedule
+			s.Events = append(s.Events, Event{Tick: 10, Rank: 1, Kind: Recover, Path: "/a"})
+			return s
+		}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.build()
+			err := s.Validate(4)
+			if tc.ok && err != nil {
+				t.Fatalf("Validate = %v, want nil", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("Validate = nil, want error")
+			}
+		})
+	}
+}
+
+func TestParseSpecsPath(t *testing.T) {
+	s, err := ParseSpecs("100:/a/b, 250:hot", Crash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{
+		{Tick: 100, Rank: HottestRank, Kind: Crash, Path: "/a/b"},
+		{Tick: 250, Rank: HottestRank, Kind: Crash},
+	}
+	if !reflect.DeepEqual(s.Events, want) {
+		t.Fatalf("events = %+v, want %+v", s.Events, want)
+	}
+	// Path crashes validate against any cluster size ...
+	if err := s.Validate(1); err != nil {
+		t.Fatal(err)
+	}
+	// ... but a path recover spec is rejected (recoveries name ranks).
+	if _, err := ParseSpecs("100:/a/b", Recover); err == nil {
+		t.Fatal("recover spec with a path must be rejected")
+	}
+}
+
 func TestMergeSorts(t *testing.T) {
 	var a Schedule
 	a.Crash(300, 0)

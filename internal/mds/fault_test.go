@@ -199,6 +199,40 @@ func TestMigratorAbortQueuedTasks(t *testing.T) {
 	}
 }
 
+// TestMigratorAbortExporterCrashImporterDraining is the drain/crash
+// composition at the migrator level: the export is already in flight
+// when the importer stops being a valid placement target (it started
+// draining), and then the exporter dies. The abort must still roll
+// authority to the draining importer — the data already lives there,
+// and its own drain re-exports the subtree afterwards. AbortRank must
+// not consult ValidRank for the surviving side.
+func TestMigratorAbortExporterCrashImporterDraining(t *testing.T) {
+	p, m, keys, down := abortFixture(t)
+	task := m.Submit(keys[0], 0, 1, 50, 0)
+	m.Tick(0)
+	if task.State != TaskActive {
+		t.Fatalf("state = %v, want active", task.State)
+	}
+	// Importer 1 starts draining mid-flight: no longer a valid target
+	// for new placements, but still the surviving side of this export.
+	down[1] = true
+	if got := m.AbortRank(0); got != 1 {
+		t.Fatalf("aborted = %d, want 1", got)
+	}
+	if task.State != TaskAborted {
+		t.Fatalf("state = %v, want aborted", task.State)
+	}
+	if e, _ := p.EntryAt(keys[0]); e.Auth != 1 {
+		t.Fatalf("authority = %d, want the draining importer 1 (it holds the data)", e.Auth)
+	}
+	if m.IsFrozen(keys[0]) {
+		t.Fatal("aborted subtree must unfreeze so the drain can re-export it")
+	}
+	if m.AbortedTasks() != 1 || m.DroppedTasks() != 0 {
+		t.Fatalf("aborted = %d dropped = %d", m.AbortedTasks(), m.DroppedTasks())
+	}
+}
+
 func TestMigratorDropsInvalidImporterAtActivation(t *testing.T) {
 	p, m, keys, down := abortFixture(t)
 	task := m.Submit(keys[0], 0, 1, 50, 0)

@@ -21,6 +21,9 @@ const heatPurgeEvery = 64
 type heatCell struct {
 	val   float64
 	epoch int64
+	// ops counts raw accesses charged to the cell (no decay) — the
+	// replication journal's delta source. Only key cells maintain it.
+	ops int64
 }
 
 // heatTable holds the decayed popularity counters of one MDS, keyed by

@@ -253,7 +253,9 @@ func (s *Server) NoteStall() { s.stallsTotal++ }
 // bumps in the steady state); the chain is rebuilt when the governing
 // subtree root changes (split/migration) or the cache generation moves.
 func (s *Server) addHeat(key namespace.FragKey, in *namespace.Inode) {
-	s.heat.bump(s.heat.keyCell(key))
+	kc := s.heat.keyCell(key)
+	s.heat.bump(kc)
+	kc.ops++
 	par := in.Parent
 	if par == nil {
 		return
@@ -313,6 +315,32 @@ func (s *Server) HeatOfKey(key namespace.FragKey) float64 {
 		return 0
 	}
 	return s.heat.value(c)
+}
+
+// KeyStats returns the subtree entry's cumulative raw access count and
+// its decayed popularity — the replication journal's per-ship delta
+// source. The ops counter resets when the cell is dropped (migration)
+// or the table is wiped (rejoin); the journal detects the reset by the
+// counter going backwards.
+func (s *Server) KeyStats(key namespace.FragKey) (ops int64, heat float64) {
+	c := s.heat.byKey[key]
+	if c == nil {
+		return 0, 0
+	}
+	return c.ops, s.heat.value(c)
+}
+
+// SeedHeat installs warm popularity for a subtree entry — the applied
+// journal prefix a promoted standby carries — so the balancer sees the
+// promoted subtree's history instead of a cold zero. Non-positive
+// seeds are ignored.
+func (s *Server) SeedHeat(key namespace.FragKey, heat float64) {
+	if heat <= 0 {
+		return
+	}
+	c := s.heat.keyCell(key)
+	c.val = s.heat.value(c) + heat
+	c.epoch = s.heat.epoch
 }
 
 // HeatOfDir returns the decayed popularity accumulated at a directory.

@@ -59,6 +59,9 @@ type RecoveryEvent struct {
 	ReassignTick int64
 	// Entries is how many subtree entries were reassigned.
 	Entries int
+	// Warm marks a warm-standby promotion (replication) instead of a
+	// cold orphan takeover.
+	Warm bool
 }
 
 // TicksToReassign returns the outage window before takeover.
@@ -122,6 +125,17 @@ func (r *Recorder) AbortedTotal() float64 { return r.Aborted.Last() }
 
 // RecoveryTicksTotal returns the final orphaned rank-tick count.
 func (r *Recorder) RecoveryTicksTotal() float64 { return r.Recovery.Last() }
+
+// WarmRecoveries counts the recorded warm-standby promotions.
+func (r *Recorder) WarmRecoveries() int {
+	n := 0
+	for _, ev := range r.recoveries {
+		if ev.Warm {
+			n++
+		}
+	}
+	return n
+}
 
 // MeanTicksToReassign returns the mean outage window across recorded
 // takeovers (0 when none happened).

@@ -75,6 +75,17 @@ const (
 	// EvDrainComplete marks a drained rank's decommission (fields:
 	// rank, entries, waited).
 	EvDrainComplete Type = "drain_complete"
+
+	// Replication events.
+	// EvReplicaPromote marks one warm standby promotion (fields: dir,
+	// frag, from, to, heat, lag, waited).
+	EvReplicaPromote Type = "replica_promote"
+	// EvJournalLag is the epoch-close replication snapshot (fields:
+	// groups, max_lag, syncing, records).
+	EvJournalLag Type = "journal_lag"
+	// EvRereplicate marks one completed background re-replication sync
+	// (fields: dir, frag, rank, inodes).
+	EvRereplicate Type = "rereplicate"
 )
 
 // AllTypes lists every event type in a stable order.
@@ -86,6 +97,7 @@ func AllTypes() []Type {
 		EvCrash, EvRecover, EvTakeover,
 		EvBackoffEnter, EvBackoffExit,
 		EvScaleDecision, EvDrainStart, EvDrainComplete,
+		EvReplicaPromote, EvJournalLag, EvRereplicate,
 	}
 }
 
