@@ -20,13 +20,15 @@ race:
 # race detector.
 check: build vet race
 
-# bench runs the tick-loop benchmark matrix and diffs it against the
-# checked-in baseline: ns/tick ratios are informational (host-dependent),
-# but the run fails if any case's allocs/tick regresses by more than 10%.
+# bench runs the tick-loop benchmark matrix — the serial cells plus the
+# parallel-engine workers axis (1,2,4,8 by default, see
+# -tickbench-workers) — and diffs it against the checked-in baseline:
+# ns/tick and ops/sec ratios are informational (host-dependent), but the
+# run fails if any case's allocs/tick regresses by more than 10%.
 # Regenerate the baseline after an intentional change with
-# `go run ./cmd/lunule-bench -tickbench -tickbench-out BENCH_pr6.json`.
+# `go run ./cmd/lunule-bench -tickbench -tickbench-out BENCH_pr7.json`.
 bench:
-	$(GO) run ./cmd/lunule-bench -tickbench -tickbench-baseline BENCH_pr6.json
+	$(GO) run ./cmd/lunule-bench -tickbench -tickbench-baseline BENCH_pr7.json
 
 # elastic runs the audited autoscaler suite: the diurnal-wave experiment
 # (elastic vs static fleets) plus an audited scale-up/drain-down smoke of

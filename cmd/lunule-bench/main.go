@@ -11,11 +11,39 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/experiment"
 )
+
+// parseWorkersAxis turns the -tickbench-workers flag ("1,2,4,8") into
+// a sorted, deduplicated list of positive worker counts.
+func parseWorkersAxis(s string) ([]int, error) {
+	seen := map[int]bool{}
+	var axis []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		w, err := strconv.Atoi(part)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad -tickbench-workers entry %q: want positive integers", part)
+		}
+		if !seen[w] {
+			seen[w] = true
+			axis = append(axis, w)
+		}
+	}
+	sort.Ints(axis)
+	if len(axis) == 0 {
+		axis = []int{1}
+	}
+	return axis, nil
+}
 
 // jsonResult is the machine-readable form of one experiment.
 type jsonResult struct {
@@ -44,13 +72,20 @@ func main() {
 		tbOut        = flag.String("tickbench-out", "", "write the tickbench JSON report to this file (the BENCH_pr3.json format)")
 		tbBaseline   = flag.String("tickbench-baseline", "", "diff tickbench results against this checked-in JSON baseline")
 		tbTicks      = flag.Int64("tickbench-ticks", 300, "measured ticks per tickbench case (after a 100-tick warmup)")
+		tbWorkers    = flag.String("tickbench-workers", "1,2,4,8",
+			"comma-separated worker counts for the parallel-engine tickbench cells")
 		tbMaxRegress = flag.Float64("tickbench-max-alloc-regress", 0.10,
 			"fail when any case's allocs/tick exceeds the baseline by more than this fraction (negative disables)")
 	)
 	flag.Parse()
 
 	if *tickbench {
-		if err := runTickBench(os.Stdout, *tbTicks, *tbOut, *tbBaseline, *tbMaxRegress); err != nil {
+		workersAxis, err := parseWorkersAxis(*tbWorkers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+		if err := runTickBench(os.Stdout, *tbTicks, workersAxis, *tbOut, *tbBaseline, *tbMaxRegress); err != nil {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 			os.Exit(1)
 		}

@@ -22,6 +22,7 @@ type tickCase struct {
 	Workload      string  `json:"workload"`
 	MDS           int     `json:"mds"`
 	Clients       int     `json:"clients"`
+	Workers       int     `json:"workers"`
 	Ticks         int64   `json:"ticks"`
 	NsPerTick     float64 `json:"ns_per_tick"`
 	OpsPerSec     float64 `json:"ops_per_sec"`
@@ -55,8 +56,7 @@ func tickWorkload(kind string) (workload.Generator, error) {
 
 // runTickCase measures one cell: warmup ticks to reach steady state,
 // then `ticks` measured steps timed with wall clock and alloc counters.
-func runTickCase(kind string, mds int, warmup, ticks int64) (tickCase, error) {
-	const clients = 64
+func runTickCase(kind string, mds, clients, workers int, warmup, ticks int64) (tickCase, error) {
 	gen, err := tickWorkload(kind)
 	if err != nil {
 		return tickCase{}, err
@@ -79,6 +79,7 @@ func runTickCase(kind string, mds int, warmup, ticks int64) (tickCase, error) {
 		Clients:     clients,
 		ClientRate:  150,
 		Seed:        42,
+		Workers:     workers,
 		Balancer:    experiment.MakeBalancer("Lunule"),
 		Workload:    gen,
 		Elastic:     controller,
@@ -98,11 +99,16 @@ func runTickCase(kind string, mds int, warmup, ticks int64) (tickCase, error) {
 	runtime.ReadMemStats(&msAfter)
 	ops := c.Metrics().TotalOps() - opsBefore
 	sec := elapsed.Seconds()
+	name := fmt.Sprintf("%s/mds%d", kind, mds)
+	if workers > 1 {
+		name = fmt.Sprintf("%s/w%d", name, workers)
+	}
 	tc := tickCase{
-		Name:          fmt.Sprintf("%s/mds%d", kind, mds),
+		Name:          name,
 		Workload:      kind,
 		MDS:           mds,
 		Clients:       clients,
+		Workers:       workers,
 		Ticks:         ticks,
 		NsPerTick:     float64(elapsed.Nanoseconds()) / float64(ticks),
 		AllocsPerTick: float64(msAfter.Mallocs-msBefore.Mallocs) / float64(ticks),
@@ -113,27 +119,57 @@ func runTickCase(kind string, mds int, warmup, ticks int64) (tickCase, error) {
 	return tc, nil
 }
 
-// runTickBench executes the full matrix ({4,8,16} MDS x {zipf,
-// shareddir}), prints a table, optionally writes the JSON report and
-// diffs it against a checked-in baseline. ns/tick ratios are
-// informational (wall clock moves with the host), but allocs/tick is a
-// property of the code: when maxAllocRegress >= 0, any case whose
-// allocs/tick exceeds the baseline by more than that fraction fails
-// the run loudly.
-func runTickBench(stdout io.Writer, ticks int64, outPath, baselinePath string, maxAllocRegress float64) error {
+// runTickBench executes the serial matrix ({4,8,16} MDS x {zipf,
+// shareddir, elastic, replication}, 64 clients), then the
+// parallel-engine cells: every worker count in `workersAxis` over the
+// >= 8-rank zipf/shareddir cells, and the 64/128-rank scale cells (256
+// clients) where the worker pool has enough lanes to matter. It prints
+// a table, optionally writes the JSON report, and diffs it against a
+// checked-in baseline. ns/tick ratios are informational (wall clock
+// moves with the host), but allocs/tick is a property of the code:
+// when maxAllocRegress >= 0, any case whose allocs/tick exceeds the
+// baseline by more than that fraction fails the run loudly.
+func runTickBench(stdout io.Writer, ticks int64, workersAxis []int, outPath, baselinePath string, maxAllocRegress float64) error {
 	if ticks <= 0 {
 		ticks = 300
 	}
 	rep := tickReport{Go: runtime.Version(), Ticks: ticks}
+	emit := func(kind string, mds, clients, workers int) error {
+		tc, err := runTickCase(kind, mds, clients, workers, 100, ticks)
+		if err != nil {
+			return err
+		}
+		rep.Cases = append(rep.Cases, tc)
+		fmt.Fprintf(stdout, "%-20s %10.0f ns/tick %12.0f ops/sec %8.0f allocs/tick\n",
+			tc.Name, tc.NsPerTick, tc.OpsPerSec, tc.AllocsPerTick)
+		return nil
+	}
 	for _, kind := range []string{"zipf", "shareddir", "elastic", "replication"} {
 		for _, mds := range []int{4, 8, 16} {
-			tc, err := runTickCase(kind, mds, 100, ticks)
-			if err != nil {
+			if err := emit(kind, mds, 64, 1); err != nil {
 				return err
 			}
-			rep.Cases = append(rep.Cases, tc)
-			fmt.Fprintf(stdout, "%-16s %10.0f ns/tick %12.0f ops/sec %8.0f allocs/tick\n",
-				tc.Name, tc.NsPerTick, tc.OpsPerSec, tc.AllocsPerTick)
+		}
+	}
+	for _, w := range workersAxis {
+		if w <= 1 {
+			continue // the serial matrix above already covers workers=1
+		}
+		for _, kind := range []string{"zipf", "shareddir"} {
+			for _, mds := range []int{8, 16} {
+				if err := emit(kind, mds, 64, w); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	// Scale cells: wide clusters where rank lanes dominate the tick, at
+	// every axis point (including 1, the serial reference).
+	for _, mds := range []int{64, 128} {
+		for _, w := range workersAxis {
+			if err := emit("zipf", mds, 256, w); err != nil {
+				return err
+			}
 		}
 	}
 	if outPath != "" {

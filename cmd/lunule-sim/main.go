@@ -62,6 +62,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		mtbf      = fs.Float64("mtbf", 0, "random failures: mean ticks between failures per rank (0 = off)")
 		mttr      = fs.Float64("mttr", 0, "random failures: mean ticks to repair (default mtbf/10)")
 		recoveryT = fs.Int("recoveryticks", 0, "failover takeover latency window in ticks (default 20)")
+		workers   = fs.Int("workers", 1, "worker goroutines for the phased tick engine (0 or 1 = serial); output is byte-identical at every setting")
 		auditOn   = fs.Bool("audit", false, "validate cross-module invariants at every epoch; violations fail the run")
 		auditTick = fs.Bool("audit-every-tick", false, "with -audit, run the invariant checks every tick instead of every epoch")
 
@@ -225,6 +226,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ClientRate:    *rate,
 		DataPath:      *data,
 		Seed:          *seed,
+		Workers:       *workers,
 		Balancer:      experiment.MakeBalancer(canonicalBalancer(*bal)),
 		Workload:      gen,
 		RecoveryTicks: *recoveryT,

@@ -439,6 +439,14 @@ func (a *Auditor) checkClients(s State) {
 			a.failf(s.Tick, "client/bounds",
 				"client %d: credit %g outside [0,%g]", cl.ID, cr, maxCredit)
 		}
+		// A backing-off client must name the rank that drove it there
+		// (RecoverMDS clears backoffs by matching rank, so a dangling or
+		// out-of-range rank would strand the client until it times out).
+		if br := cl.BackoffRank(); cl.Backoff() > 0 &&
+			(br < 0 || int(br) >= len(s.Servers)) {
+			a.failf(s.Tick, "client/bounds",
+				"client %d: backing off against invalid rank %d", cl.ID, br)
+		}
 	}
 }
 
@@ -463,10 +471,7 @@ func (a *Auditor) checkHeat(s State) {
 func (a *Auditor) checkOps(s State) {
 	var done int64
 	for _, cl := range s.Clients {
-		issued, pending := cl.Issued(), int64(0)
-		if cl.HasPending() {
-			pending = 1
-		}
+		issued, pending := cl.Issued(), cl.PendingOps()
 		if issued != cl.OpsDone()+pending {
 			a.failf(s.Tick, "ops/conservation",
 				"client %d: issued %d != done %d + pending %d",

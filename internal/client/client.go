@@ -21,15 +21,18 @@ type Client struct {
 	rate      float64 // ops per tick
 
 	credit float64 // fractional-op accumulator
-	// pending is held by value: a pointer here would force every op
-	// returned by the stream to escape to the heap (one allocation per
-	// op on the serve path).
-	pending      workload.Op
-	hasPending   bool
-	pendingSince int64 // tick the pending op was first attempted
-	debt         int64 // unpaid data bytes
+	// pending is a FIFO of issued-but-unserved ops. The engine draws a
+	// run of ops ahead of serving them so it can route a whole batch to
+	// one rank; ops that stall stay queued and the head is re-attempted
+	// first. Held by value (not pointers) so stream ops never escape to
+	// the heap; head-index popping keeps the backing array reusable, so
+	// the steady-state tick path stays allocation-free.
+	pending []pendingOp
+	head    int   // index of the queue head within pending
+	debt    int64 // unpaid data bytes
 
 	streamDone bool
+	readsTree  bool // stream consults the live namespace in Next()
 	done       bool
 	doneTick   int64
 	issued     int64 // ops drawn from the stream (completed or pending)
@@ -40,11 +43,19 @@ type Client struct {
 	// of re-attempting every tick while the target is down (silent
 	// spinning), the client waits backoff ticks, doubling up to
 	// MaxBackoffTicks per consecutive failure, and resets on success.
-	backoff int64 // current backoff interval, 0 = none
-	retryAt int64 // earliest tick the pending op may be re-attempted
-	retries int64 // failed attempts that entered backoff
+	backoff     int64            // current backoff interval, 0 = none
+	retryAt     int64            // earliest tick the pending op may be re-attempted
+	retries     int64            // failed attempts that entered backoff
+	backoffRank namespace.MDSID // rank whose failure drove the backoff (-1 = none)
 
 	cache authCache
+}
+
+// pendingOp is one queued op plus the tick it was drawn from the
+// stream, which is when its latency clock starts.
+type pendingOp struct {
+	op    workload.Op
+	since int64
 }
 
 // MaxBackoffTicks caps the exponential retry backoff. With 1-second
@@ -115,14 +126,25 @@ func New(id int, spec workload.ClientSpec, baseRate float64) *Client {
 	if rate <= 0 {
 		rate = 1
 	}
+	readsTree := false
+	if tr, ok := spec.Stream.(workload.TreeReader); ok {
+		readsTree = tr.ReadsTree()
+	}
 	return &Client{
-		ID:        id,
-		stream:    spec.Stream,
-		startTick: spec.StartTick,
-		rate:      rate,
-		cache:     authCache{cap: DefaultAuthCacheSize},
+		ID:          id,
+		stream:      spec.Stream,
+		startTick:   spec.StartTick,
+		rate:        rate,
+		backoffRank: -1,
+		readsTree:   readsTree,
+		cache:       authCache{cap: DefaultAuthCacheSize},
 	}
 }
+
+// StreamReadsTree reports whether the client's stream consults the live
+// namespace when drawing ops (see workload.TreeReader). The engine must
+// not draw ahead of an unadopted create for such streams.
+func (c *Client) StreamReadsTree() bool { return c.readsTree }
 
 // StartTick returns the tick at which the client begins issuing.
 func (c *Client) StartTick() int64 { return c.startTick }
@@ -173,35 +195,47 @@ func (c *Client) AccrueCredit() int {
 	return n
 }
 
-// NextOp returns the op to attempt next: the retained (stalled) op if
-// any, otherwise the next from the stream, stamping its first-attempt
-// tick. ok=false means the stream is exhausted.
+// NextOp returns the op to attempt next: the retained (stalled) queue
+// head if any, otherwise the next from the stream, stamping its draw
+// tick. ok=false means the stream is exhausted and the queue is empty.
 func (c *Client) NextOp(tick int64) (workload.Op, bool) {
-	if c.hasPending {
-		return c.pending, true
+	return c.PeekOp(0, tick)
+}
+
+// PeekOp returns the k-th queued op (0 = the one to attempt next),
+// drawing from the stream as needed to fill the queue that far. Drawn
+// ops are issued immediately but stay queued until CompleteOp pops
+// them. ok=false means the stream ran dry before position k.
+func (c *Client) PeekOp(k int, tick int64) (workload.Op, bool) {
+	for c.head+k >= len(c.pending) {
+		if c.streamDone {
+			return workload.Op{}, false
+		}
+		op, ok := c.stream.Next()
+		if !ok {
+			c.streamDone = true
+			return workload.Op{}, false
+		}
+		c.pending = append(c.pending, pendingOp{op: op, since: tick})
+		c.issued++
 	}
-	if c.streamDone {
-		return workload.Op{}, false
-	}
-	op, ok := c.stream.Next()
-	if !ok {
-		c.streamDone = true
-		return workload.Op{}, false
-	}
-	c.pending = op
-	c.hasPending = true
-	c.pendingSince = tick
-	c.issued++
-	return op, true
+	return c.pending[c.head+k].op, true
 }
 
 // Issued returns how many ops the client has drawn from its stream.
-// Every issued op is either completed or the current pending op — the
+// Every issued op is either completed or still queued — the
 // conservation law the state auditor checks.
 func (c *Client) Issued() int64 { return c.issued }
 
-// HasPending reports whether the client holds an issued-but-unserved op.
-func (c *Client) HasPending() bool { return c.hasPending }
+// HasPending reports whether the client holds issued-but-unserved ops.
+func (c *Client) HasPending() bool { return c.head < len(c.pending) }
+
+// PendingOps returns how many issued-but-unserved ops the client holds.
+func (c *Client) PendingOps() int64 { return int64(len(c.pending) - c.head) }
+
+// Idle reports that the client has nothing left to attempt: its stream
+// is exhausted and its queue is empty.
+func (c *Client) Idle() bool { return c.streamDone && c.head >= len(c.pending) }
 
 // Credit returns the fractional-op accumulator (bounded by one tick's
 // rate; see AccrueCredit).
@@ -216,11 +250,13 @@ func (c *Client) RetryAt() int64 { return c.retryAt }
 // clears within one tick, so no backoff applies).
 func (c *Client) Retain() { c.stallTicks++ }
 
-// RetainBackoff records that the current op failed against a down rank
-// and schedules the retry with capped exponential backoff: 1, 2, 4, …
-// up to MaxBackoffTicks after consecutive failures. Success
-// (CompleteOp) resets the backoff.
-func (c *Client) RetainBackoff(tick int64) {
+// RetainBackoff records that the current op failed against the given
+// down rank and schedules the retry with capped exponential backoff:
+// 1, 2, 4, … up to MaxBackoffTicks after consecutive failures. Success
+// (CompleteOp) resets the backoff. The failing rank is remembered so
+// that recovery of an unrelated rank does not release the client (see
+// BackoffRank).
+func (c *Client) RetainBackoff(tick int64, rank namespace.MDSID) {
 	c.stallTicks++
 	c.retries++
 	if c.backoff < 1 {
@@ -232,7 +268,12 @@ func (c *Client) RetainBackoff(tick int64) {
 		}
 	}
 	c.retryAt = tick + c.backoff
+	c.backoffRank = rank
 }
+
+// BackoffRank returns the rank whose down state drove the current
+// backoff, or -1 when the client is not backing off.
+func (c *Client) BackoffRank() namespace.MDSID { return c.backoffRank }
 
 // RetryReady reports whether the client may attempt an op at the given
 // tick (false only while backing off after down-rank failures).
@@ -245,6 +286,7 @@ func (c *Client) RetryReady(tick int64) bool { return tick >= c.retryAt }
 func (c *Client) ClearBackoff() {
 	c.backoff = 0
 	c.retryAt = 0
+	c.backoffRank = -1
 }
 
 // Retries returns how many op attempts failed into backoff.
@@ -254,25 +296,32 @@ func (c *Client) Retries() int64 { return c.retries }
 // client is not backing off).
 func (c *Client) Backoff() int64 { return c.backoff }
 
-// CompleteOp marks the current op as served and returns its latency in
-// ticks (1 for an op served on its first attempt).
+// CompleteOp marks the queue head as served, pops it, and returns its
+// latency in ticks (1 for an op served in the tick it was drawn).
 func (c *Client) CompleteOp(tick int64) int64 {
-	lat := tick - c.pendingSince + 1
+	lat := tick - c.pending[c.head].since + 1
 	if lat < 1 {
 		lat = 1
 	}
-	c.pending = workload.Op{}
-	c.hasPending = false
+	c.pending[c.head] = pendingOp{}
+	c.head++
+	if c.head == len(c.pending) {
+		// Queue drained: rewind to reuse the backing array.
+		c.pending = c.pending[:0]
+		c.head = 0
+	}
 	c.opsDone++
 	c.backoff = 0
 	c.retryAt = 0
+	c.backoffRank = -1
 	return lat
 }
 
-// MaybeFinish marks the client done when its stream is exhausted and
-// all data debt is paid. It returns true on the transition.
+// MaybeFinish marks the client done when its stream is exhausted, its
+// queue is empty, and all data debt is paid. It returns true on the
+// transition.
 func (c *Client) MaybeFinish(tick int64) bool {
-	if c.done || !c.streamDone || c.hasPending || c.debt > 0 {
+	if c.done || !c.Idle() || c.debt > 0 {
 		return false
 	}
 	c.done = true

@@ -204,16 +204,70 @@ func TestClearBackoffCancelsRetryWait(t *testing.T) {
 	// point, so without clearing the client would idle long after the
 	// rank is back.
 	for i := 0; i < 5; i++ {
-		c.RetainBackoff(10)
+		c.RetainBackoff(10, 2)
 	}
 	if c.Backoff() != 16 || c.RetryReady(11) {
 		t.Fatalf("backoff not engaged: backoff=%d", c.Backoff())
+	}
+	if c.BackoffRank() != 2 {
+		t.Fatalf("backoff rank = %v, want 2", c.BackoffRank())
 	}
 	c.ClearBackoff()
 	if c.Backoff() != 0 {
 		t.Fatalf("backoff not cleared: %d", c.Backoff())
 	}
+	if c.BackoffRank() != -1 {
+		t.Fatalf("backoff rank not cleared: %v", c.BackoffRank())
+	}
 	if !c.RetryReady(11) {
 		t.Fatal("client must be ready to retry immediately after ClearBackoff")
+	}
+}
+
+func TestPeekOpQueueDrawAhead(t *testing.T) {
+	ops := []workload.Op{
+		{Kind: workload.OpLookup},
+		{Kind: workload.OpGetattr},
+		{Kind: workload.OpOpen},
+	}
+	c := New(0, specOf(ops, 0, 1), 4)
+	// Peeking ahead draws and issues without completing.
+	op2, ok := c.PeekOp(2, 5)
+	if !ok || op2.Kind != workload.OpOpen {
+		t.Fatal("peek at depth 2")
+	}
+	if c.Issued() != 3 || c.PendingOps() != 3 || c.OpsDone() != 0 {
+		t.Fatalf("issued=%d pending=%d done=%d", c.Issued(), c.PendingOps(), c.OpsDone())
+	}
+	// Head stays stable across peeks; completes pop in FIFO order.
+	if op0, _ := c.PeekOp(0, 5); op0.Kind != workload.OpLookup {
+		t.Fatal("head changed")
+	}
+	c.CompleteOp(5)
+	if op0, _ := c.PeekOp(0, 5); op0.Kind != workload.OpGetattr {
+		t.Fatal("pop order")
+	}
+	c.CompleteOp(5)
+	c.CompleteOp(6)
+	if _, ok := c.PeekOp(0, 6); ok {
+		t.Fatal("stream must be exhausted")
+	}
+	if !c.Idle() || c.Issued() != c.OpsDone() || c.PendingOps() != 0 {
+		t.Fatalf("final accounting: issued=%d done=%d pending=%d", c.Issued(), c.OpsDone(), c.PendingOps())
+	}
+}
+
+func TestPeekOpLatencyFromDrawTick(t *testing.T) {
+	ops := []workload.Op{{Kind: workload.OpLookup}, {Kind: workload.OpOpen}}
+	c := New(0, specOf(ops, 0, 1), 2)
+	// Both ops drawn at tick 3; second completes at tick 5 -> latency 3.
+	if _, ok := c.PeekOp(1, 3); !ok {
+		t.Fatal("draw ahead")
+	}
+	if lat := c.CompleteOp(3); lat != 1 {
+		t.Fatalf("head latency = %d", lat)
+	}
+	if lat := c.CompleteOp(5); lat != 3 {
+		t.Fatalf("queued latency = %d, want 3", lat)
 	}
 }

@@ -90,6 +90,17 @@ type Config struct {
 	// Partition.Version on every mutation), so this knob exists only
 	// for the differential tests that prove it.
 	DisableResolveCache bool
+	// Workers is the worker count for the phased tick engine: how many
+	// goroutines execute the routing and serve subphases of each tick
+	// (see engine.go). 0 or 1 runs the engine inline on the calling
+	// goroutine. The simulated run is byte-identical at every worker
+	// count — parallelism changes wall-clock time only — which the
+	// differential tests prove the same way the resolve-cache ones do.
+	Workers int
+	// DisableParallelEngine forces Workers to 1, mirroring
+	// DisableResolveCache as an escape hatch: the engine algorithm is
+	// identical either way, only the goroutine fan-out is suppressed.
+	DisableParallelEngine bool
 	// Audit optionally attaches a state auditor that validates
 	// cross-module invariants at every epoch close (or every tick; see
 	// audit.Options.EveryTick). Like the Bus, nil disables auditing at
@@ -191,14 +202,15 @@ type Cluster struct {
 	// built once so the audited tick loop does not allocate it.
 	orphanFn func(namespace.MDSID) bool
 
+	// engine is the phased (optionally parallel) serve engine; see
+	// engine.go. It owns all per-tick client/rank scratch.
+	engine *engine
+
 	// Reusable per-tick scratch, so the steady-state tick loop does not
-	// allocate: the client service order, the per-MDS op sample, the
-	// live-load vector of epoch close, and the authority chain of the
-	// client-cache-miss path.
-	permBuf   []int
+	// allocate: the per-MDS op sample and the live-load vector of epoch
+	// close.
 	perMDSBuf []int
 	liveLoads []float64
-	chainBuf  []namespace.MDSID
 
 	// Fault state: which ranks are crashed-and-unreassigned, when each
 	// currently-down rank crashed, each down rank's last load reading
@@ -314,6 +326,7 @@ func New(cfg Config) (*Cluster, error) {
 	for i, sp := range specs {
 		cl.clients = append(cl.clients, client.New(i, sp, cfg.ClientRate))
 	}
+	cl.engine = newEngine(cl, src)
 	if cfg.Replication != nil {
 		cl.rep = cfg.Replication
 		cl.initReplication()
@@ -501,9 +514,12 @@ func (c *Cluster) CrashHottest() int {
 // trace statistics are invalidated (see mds.Server.Rejoin); if its
 // subtrees had not yet been taken over, the pending takeover is
 // cancelled and they are simply valid again. Clients backing off
-// against the down rank have their residual backoff cleared — the
-// rank is serving again, so waiting out the rest of an exponential
-// backoff window would just extend the outage they observe. It
+// against THIS rank have their residual backoff cleared — the rank is
+// serving again, so waiting out the rest of an exponential backoff
+// window would just extend the outage they observe. Clients backing
+// off against a different, still-down rank keep their interval: a
+// blanket clear would reset them to backoff=1 and let an unrelated
+// recovery turn them loose to hammer a rank that is still dead. It
 // returns false for an invalid, already-up, or decommissioned rank —
 // decommissioning is terminal; a retired rank rejoins only as a brand
 // new rank via AddMDS.
@@ -518,7 +534,7 @@ func (c *Cluster) RecoverMDS(rank int) bool {
 	delete(c.crashTick, id)
 	delete(c.crashLoad, id)
 	for _, cl := range c.clients {
-		if cl.Backoff() > 0 {
+		if cl.Backoff() > 0 && cl.BackoffRank() == id {
 			cl.ClearBackoff()
 			if c.bus.Enabled(obs.EvBackoffExit) {
 				f := obs.AcquireF()
@@ -1019,14 +1035,7 @@ func (c *Cluster) Step() {
 		c.pumpDrains(tick)
 	}
 
-	if cap(c.permBuf) < len(c.clients) {
-		c.permBuf = make([]int, len(c.clients))
-	}
-	perm := c.permBuf[:len(c.clients)]
-	c.rand.PermInto(perm)
-	for _, ci := range perm {
-		c.stepClient(c.clients[ci], tick, epoch)
-	}
+	c.engine.serveTick(tick, epoch)
 
 	if cap(c.perMDSBuf) < len(c.servers) {
 		c.perMDSBuf = make([]int, len(c.servers))
@@ -1071,147 +1080,6 @@ func (c *Cluster) Step() {
 // disabled). The returned value is nil-safe: Err(), Passes(), and
 // Violations() work on a nil auditor.
 func (c *Cluster) Auditor() *audit.Auditor { return c.auditor }
-
-func (c *Cluster) stepClient(cl *client.Client, tick, epoch int64) {
-	if cl.Done() || tick < cl.StartTick() {
-		return
-	}
-	if !cl.RetryReady(tick) {
-		return // backing off after failures against a down rank
-	}
-	if cl.Debt() > 0 {
-		cl.PayDebt(c.osds.Consume(cl.Debt()))
-		if cl.Debt() > 0 {
-			return // still blocked on the data path
-		}
-	}
-	n := cl.AccrueCredit()
-	for i := 0; i < n; i++ {
-		op, ok := cl.NextOp(tick)
-		if !ok {
-			break
-		}
-		switch c.execute(cl, op, epoch) {
-		case execStallDown:
-			// The authoritative (or a relaying) rank is down: retry
-			// with capped exponential backoff instead of spinning.
-			c.stalledDown++
-			cl.RetainBackoff(tick)
-			if c.bus.Enabled(obs.EvBackoffEnter) {
-				f := obs.AcquireF()
-				f["client"], f["backoff"], f["retry_at"] = cl.ID, cl.Backoff(), tick+cl.Backoff()
-				c.bus.EmitPooled(obs.Event{Tick: tick, Type: obs.EvBackoffEnter, Fields: f})
-			}
-			return
-		case execStall:
-			cl.Retain()
-			return
-		}
-		if cl.Backoff() > 0 && c.bus.Enabled(obs.EvBackoffExit) {
-			// The op that was backing off finally served: the client
-			// leaves the backoff regime.
-			f := obs.AcquireF()
-			f["client"], f["reason"] = cl.ID, "served"
-			c.bus.EmitPooled(obs.Event{Tick: tick, Type: obs.EvBackoffExit, Fields: f})
-		}
-		c.rec.AddLatency(cl.CompleteOp(tick))
-		if c.cfg.DataPath && op.DataSize > 0 {
-			cl.AddDebt(op.DataSize)
-			cl.PayDebt(c.osds.Consume(cl.Debt()))
-			if cl.Debt() > 0 {
-				break // blocked on the data path until paid off
-			}
-		}
-	}
-	if cl.MaybeFinish(tick) {
-		c.doneN++
-		c.rec.AddJCT(tick)
-	}
-}
-
-// execStatus is the outcome of one op attempt.
-type execStatus int
-
-const (
-	// execOK: the op was served.
-	execOK execStatus = iota
-	// execStall: a saturated or frozen target; retry next tick.
-	execStall
-	// execStallDown: the authoritative or a relaying rank is down;
-	// retry with backoff and account the attempt as stalled-on-down.
-	execStallDown
-)
-
-// execute serves one metadata op for the given client. With a valid
-// authority-cache entry the client contacts the authoritative MDS
-// directly; otherwise the request traverses the authority chain,
-// charging one forwarding unit at every relay hop (how CephFS resolves
-// unknown or stale subtree mappings). The op stalls when the target is
-// saturated or frozen (execStall) or when a required rank is down — an
-// orphaned subtree inside its recovery window (execStallDown).
-func (c *Cluster) execute(cl *client.Client, op workload.Op, epoch int64) execStatus {
-	target := op.Target
-	if op.Kind == workload.OpCreate {
-		target = op.Parent.Child(op.Name)
-		if target == nil {
-			in, err := c.tree.Create(op.Parent, op.Name, op.Size)
-			if err != nil {
-				// Name raced into existence or invalid: treat as served.
-				// No MDS serves the op, so count it for the auditor's
-				// ops-conservation reconciliation.
-				c.racedCreates++
-				return execOK
-			}
-			target = in
-		}
-	}
-	var entry namespace.Entry
-	if c.resolver != nil {
-		entry = c.resolver.Entry(target)
-	} else {
-		entry = c.part.GoverningEntry(target)
-	}
-	auth := c.servers[entry.Auth]
-	if !auth.Up() {
-		auth.NoteStall()
-		return execStallDown
-	}
-	if c.migrator.IsFrozen(entry.Key) {
-		auth.NoteStall()
-		return execStall
-	}
-	if !auth.HasBudget() {
-		auth.NoteStall()
-		return execStall
-	}
-	cached, ok := cl.CacheLookup(entry.Key)
-	if ok && cached == entry.Auth {
-		auth.Serve(entry, target, epoch)
-		return execOK
-	}
-	// Cache miss or stale mapping: the request relays along the
-	// authority chain, which only this path needs to materialize (into
-	// the cluster's reusable buffer).
-	chain, _ := c.part.ResolveChainInto(c.chainBuf, target)
-	c.chainBuf = chain[:0]
-	for _, h := range chain[:len(chain)-1] {
-		if !c.servers[h].Up() {
-			c.servers[h].NoteStall()
-			return execStallDown
-		}
-		if !c.servers[h].HasBudget() {
-			c.servers[h].NoteStall()
-			return execStall
-		}
-	}
-	for _, h := range chain[:len(chain)-1] {
-		c.servers[h].ConsumeForward()
-	}
-	auth.Serve(entry, target, epoch)
-	c.forwards += int64(len(chain) - 1)
-	cl.CacheStore(entry.Key, entry.Auth)
-	return execOK
-}
 
 func (c *Cluster) endEpoch(tick, epoch int64) {
 	// Epoch bookkeeping runs on every server (down ones record a zero

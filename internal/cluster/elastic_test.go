@@ -99,7 +99,11 @@ func TestDrainDecommission(t *testing.T) {
 // follow.
 func TestAddMDSMidRunAuditClean(t *testing.T) {
 	aud := audit.New(audit.Options{EveryTick: true})
-	c := newTestCluster(t, Config{MDS: 4, Clients: 16, Workload: failoverZipf(), Audit: aud})
+	// Capacity is sized so the post-join skew reads as harmful: the
+	// urgency logistic (Equation 2) suppresses migration when the
+	// hottest rank sits far below capacity, and a rank that joins a
+	// benignly-imbalanced cluster is correctly left empty.
+	c := newTestCluster(t, Config{MDS: 4, Clients: 16, Capacity: 1000, Workload: failoverZipf(), Audit: aud})
 	const joinTick = 55
 	c.ScheduleAddMDS(joinTick, 1)
 	c.RunUntilDone(30000)

@@ -1,0 +1,197 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/replica"
+)
+
+// engineWorkerCounts are the worker counts every differential below
+// runs at. 1 is the inline path (runParallel never spawns), 2 forces
+// real cross-goroutine interleaving, 8 oversubscribes the lane count
+// of most scenarios so workers steal across cohorts and ranks.
+var engineWorkerCounts = []int{1, 2, 8}
+
+// runEngineDiff runs one seeded scenario at the given worker count and
+// returns the run's complete externally visible output: per-tick CSV,
+// per-epoch CSV, and the JSONL event trace. The scenario mutates the
+// config (schedules, replication) before the cluster is built.
+func runEngineDiff(t *testing.T, workers int, disable bool, scenario func(*Config) func(*Cluster)) []byte {
+	t.Helper()
+	var tr bytes.Buffer
+	sink := obs.NewJSONL(&tr)
+	cfg := Config{
+		Workers:               workers,
+		DisableParallelEngine: disable,
+		Bus:                   obs.NewBus(sink),
+	}
+	after := scenario(&cfg)
+	c := newTestCluster(t, cfg)
+	if after != nil {
+		after(c)
+	}
+	c.RunUntilDone(30000)
+	if !c.Done() {
+		t.Fatal("clients must finish")
+	}
+	var out bytes.Buffer
+	if err := c.Metrics().WriteCSV(&out); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Metrics().WriteEpochCSV(&out); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out.Write(tr.Bytes())
+	return out.Bytes()
+}
+
+// diffEngineOutputs fails with the first diverging byte in context.
+func diffEngineOutputs(t *testing.T, name string, want, got []byte) {
+	t.Helper()
+	if bytes.Equal(want, got) {
+		return
+	}
+	i := 0
+	for i < len(want) && i < len(got) && want[i] == got[i] {
+		i++
+	}
+	lo := i - 80
+	if lo < 0 {
+		lo = 0
+	}
+	t.Fatalf("%s diverges at byte %d:\nserial:   %q\nparallel: %q",
+		name, i, want[lo:min(i+80, len(want))], got[lo:min(i+80, len(got))])
+}
+
+// engineScenarios are the three stress configurations of the
+// parallel-engine differential: failover (crashes, orphan takeover,
+// recoveries), elastic (a rank joining mid-run and another draining
+// out), and replication (warm standbys promoted over a crash). Each
+// returns an optional post-construction hook.
+var engineScenarios = []struct {
+	name     string
+	scenario func(*Config) func(*Cluster)
+}{
+	{"failover", func(cfg *Config) func(*Cluster) {
+		var sched fault.Schedule
+		sched.Crash(40, 0).Recover(110, 0).Crash(160, 3).Recover(230, 3)
+		cfg.MDS = 16
+		cfg.Clients = 24
+		cfg.Seed = 11
+		cfg.RecoveryTicks = 12
+		cfg.Faults = &sched
+		cfg.Workload = failoverZipf()
+		return nil
+	}},
+	{"elastic", func(cfg *Config) func(*Cluster) {
+		cfg.MDS = 4
+		cfg.Clients = 16
+		cfg.Seed = 11
+		cfg.Capacity = 1000
+		cfg.Workload = failoverZipf()
+		return func(c *Cluster) {
+			c.ScheduleAddMDS(55, 1)
+			c.events.Schedule(120, func() { c.StartDrain(1) })
+		}
+	}},
+	{"replication", func(cfg *Config) func(*Cluster) {
+		var sched fault.Schedule
+		sched.Crash(60, 1).Recover(140, 1)
+		cfg.MDS = 4
+		cfg.Clients = 16
+		cfg.Seed = 11
+		cfg.RecoveryTicks = 25
+		cfg.Faults = &sched
+		cfg.Workload = failoverZipf()
+		cfg.Replication = replica.MustManager(replica.DefaultPolicy())
+		return nil
+	}},
+}
+
+// TestParallelEngineDifferential is the correctness contract of the
+// phased tick engine: the same seeded run must produce byte-identical
+// CSVs and event traces at every worker count, and with the engine's
+// escape hatch (DisableParallelEngine) thrown. Any scheduling leak —
+// RNG consumption, merge ordering, budget arbitration, inode-number
+// assignment — shows up here as a diverging trace.
+func TestParallelEngineDifferential(t *testing.T) {
+	for _, sc := range engineScenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			base := runEngineDiff(t, 0, true, sc.scenario)
+			for _, w := range engineWorkerCounts {
+				got := runEngineDiff(t, w, false, sc.scenario)
+				diffEngineOutputs(t, sc.name+"/workers="+string(rune('0'+w)), base, got)
+			}
+		})
+	}
+}
+
+// TestRecoverClearsOnlyMatchingBackoffs is the two-crashes regression:
+// recovering one rank must wake only the clients that were backing off
+// against it. The old blanket ClearBackoff also woke clients backing
+// off against a rank that was still down, collapsing their carefully
+// grown retry intervals into a thundering herd of doomed retries.
+func TestRecoverClearsOnlyMatchingBackoffs(t *testing.T) {
+	aud := audit.New(audit.Options{EveryTick: true})
+	c := newTestCluster(t, Config{
+		MDS:           4,
+		Clients:       24,
+		Seed:          11,
+		RecoveryTicks: 200,
+		Workload:      failoverZipf(),
+		Audit:         aud,
+	})
+	c.Run(30)
+	if !c.CrashMDS(0) || !c.CrashMDS(3) {
+		t.Fatal("crashes refused")
+	}
+	c.Run(40)
+
+	backingOff := map[int]int{} // rank -> clients in backoff against it
+	keep := map[int]int64{} // client -> backoff width against rank 3
+	for _, cl := range c.Clients() {
+		if cl.Backoff() > 0 {
+			backingOff[int(cl.BackoffRank())]++
+			if cl.BackoffRank() == 3 {
+				keep[cl.ID] = cl.Backoff()
+			}
+		}
+	}
+	if backingOff[0] == 0 || backingOff[3] == 0 {
+		t.Fatalf("scenario must have clients backing off against both down ranks, got %v", backingOff)
+	}
+
+	if !c.RecoverMDS(0) {
+		t.Fatal("recovery refused")
+	}
+	for _, cl := range c.Clients() {
+		if cl.Backoff() > 0 && cl.BackoffRank() == 0 {
+			t.Fatalf("client %d still backing off against the recovered rank", cl.ID)
+		}
+	}
+	for _, cl := range c.Clients() {
+		if want, ok := keep[cl.ID]; ok {
+			if cl.Backoff() != want || cl.BackoffRank() != 3 {
+				t.Fatalf("client %d backoff against still-down rank 3 disturbed: backoff=%d rank=%d (want %d)",
+					cl.ID, cl.Backoff(), cl.BackoffRank(), want)
+			}
+		}
+	}
+
+	c.RecoverMDS(3)
+	c.RunUntilDone(30000)
+	if !c.Done() {
+		t.Fatal("clients must finish")
+	}
+	for _, v := range aud.Violations() {
+		t.Errorf("audit violation: %s", v)
+	}
+}

@@ -1,0 +1,56 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// runParallel executes fn(0..n-1) across the engine's workers and
+// returns when every index has run. With one effective worker (or one
+// item) it runs inline on the calling goroutine — the serial engine is
+// literally this path, not a second implementation. With more, workers
+// claim indices from a shared atomic counter (work stealing, so a slow
+// item does not idle the other workers behind a static stripe) and the
+// caller participates as worker zero.
+//
+// Determinism does not depend on scheduling: every fn(i) invoked here
+// writes only i-keyed state (one cohort, one rank lane), and all
+// cross-shard effects are buffered and applied in sorted rank order at
+// the serial barriers between subphases. Goroutines are spawned per
+// call rather than parked in a persistent pool: a Cluster has no
+// Close, and at a few subphases per tick the spawn cost is noise
+// against the work each subphase carries.
+func runParallel(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	for g := 1; g < workers; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	for {
+		i := int(next.Add(1) - 1)
+		if i >= n {
+			break
+		}
+		fn(i)
+	}
+	wg.Wait()
+}

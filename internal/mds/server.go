@@ -216,6 +216,32 @@ func (s *Server) DownTicks() int64 { return s.downTicks }
 // HasBudget reports whether the server can accept more work this tick.
 func (s *Server) HasBudget() bool { return s.budget > 0 }
 
+// RemainingBudget returns the number of ops the server can still accept
+// this tick. The parallel engine snapshots it at round barriers to
+// admit relay hops without cross-rank writes mid-round.
+func (s *Server) RemainingBudget() int { return s.budget }
+
+// AddForwardCharges applies n relay charges buffered by the parallel
+// engine at a phase barrier: the rank that resolved a chain through
+// this server charges it here instead of calling ConsumeForward from
+// another goroutine. Admission was decided against the round-start
+// budget snapshot, so the whole batch is charged, flooring the budget
+// at zero (a relay hop never owes work into the next tick).
+func (s *Server) AddForwardCharges(n int) {
+	if n <= 0 {
+		return
+	}
+	s.budget -= n
+	if s.budget < 0 {
+		s.budget = 0
+	}
+	s.fwdTotal += int64(n)
+}
+
+// AddStalls applies n stall notes buffered by the parallel engine at a
+// phase barrier (the barrier-batched form of NoteStall).
+func (s *Server) AddStalls(n int64) { s.stallsTotal += n }
+
 // ConsumeForward charges one forwarding unit (a request relayed through
 // this server on its way to the authoritative MDS). It returns false
 // without charging when the server is saturated.
@@ -232,16 +258,30 @@ func (s *Server) ConsumeForward() bool {
 // e, during the given epoch. It returns false without side effects when
 // the server is saturated this tick.
 func (s *Server) Serve(e namespace.Entry, in *namespace.Inode, epoch int64) bool {
+	ok, first := s.ServeDeferVisit(e, in, epoch)
+	if first {
+		in.MarkVisited()
+	}
+	return ok
+}
+
+// ServeDeferVisit is Serve with the first-visit side effect handed back
+// to the caller: firstVisit=true means the inode was accessed for the
+// first time ever and the caller owes it a MarkVisited. The parallel
+// engine uses this to keep the serve path free of ancestor-chain
+// writes (MarkVisited walks shared ancestor counters), buffering the
+// inodes per rank lane and applying the walks at the serial barrier.
+func (s *Server) ServeDeferVisit(e namespace.Entry, in *namespace.Inode, epoch int64) (ok, firstVisit bool) {
 	if s.budget <= 0 {
-		return false
+		return false, false
 	}
 	s.budget--
 	s.opsTick++
 	s.opsEpoch++
 	s.opsTotal++
-	s.collector.Record(e.Key, in, epoch)
+	firstVisit = s.collector.RecordNoVisit(e.Key, in, epoch)
 	s.addHeat(e.Key, in)
-	return true
+	return true, firstVisit
 }
 
 // NoteStall records a request that could not be served this tick.

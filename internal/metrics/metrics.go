@@ -173,6 +173,55 @@ func (r *Recorder) AddLatency(ticks int64) {
 	r.latencySum += ticks
 }
 
+// LatencyShard is a per-worker latency accumulator for the parallel
+// engine: rank lanes record op latencies into their own shard during a
+// parallel serve phase and the engine merges the shards into the
+// Recorder at the serial end of the tick. Merging is pure integer
+// addition, so any merge order yields byte-identical CSV output; the
+// maxIdx watermark keeps the merge cost proportional to the latencies
+// actually seen instead of the full histogram width.
+type LatencyShard struct {
+	counts [maxLatencyBucket]int64
+	maxIdx int
+	n      int64
+	sum    int64
+}
+
+// Add records one op's latency into the shard (same bucketing as
+// Recorder.AddLatency).
+func (s *LatencyShard) Add(ticks int64) {
+	if ticks < 1 {
+		ticks = 1
+	}
+	idx := ticks - 1
+	if idx >= maxLatencyBucket {
+		idx = maxLatencyBucket - 1
+	}
+	s.counts[idx]++
+	if int(idx) >= s.maxIdx {
+		s.maxIdx = int(idx) + 1
+	}
+	s.n++
+	s.sum += ticks
+}
+
+// Dirty reports whether the shard holds unmerged samples.
+func (s *LatencyShard) Dirty() bool { return s.n != 0 }
+
+// MergeLatencyShard folds a shard's counts into the recorder and
+// resets the shard for reuse.
+func (r *Recorder) MergeLatencyShard(s *LatencyShard) {
+	for i := 0; i < s.maxIdx; i++ {
+		if c := s.counts[i]; c != 0 {
+			r.latency[i] += c
+			s.counts[i] = 0
+		}
+	}
+	r.latencyN += s.n
+	r.latencySum += s.sum
+	s.maxIdx, s.n, s.sum = 0, 0, 0
+}
+
 // MeanLatency returns the average op latency in ticks (0 if none).
 func (r *Recorder) MeanLatency() float64 {
 	if r.latencyN == 0 {

@@ -1,0 +1,70 @@
+package namespace
+
+import "strings"
+
+// InodeArena allocates promised inodes for deferred adoption. The
+// parallel engine's rank lanes create files concurrently, but inode
+// numbers come from the tree's single monotonic counter and linking
+// mutates shared parent state, so creation is split in two: a lane
+// calls NewFile to get a fully usable file inode that is not yet in
+// the tree (Ino 0, unlinked), serves ops against it, and the engine
+// adopts it into the tree at the next serial barrier via Tree.Adopt.
+// Each lane owns one arena, so slab carving needs no locking; like the
+// tree's own slab, chunked allocation amortizes to ~one allocation per
+// inodeSlabSize creates on the steady-state path.
+type InodeArena struct {
+	slab []Inode
+}
+
+// NewFile returns a promised file inode under parent: named, parented,
+// and sized, but with Ino 0 and not linked into the tree. The caller
+// must guarantee (parent, name) is not already linked and not promised
+// by another lane; name validity is checked here exactly as the tree's
+// own create path does. The inode supports everything the serve path
+// needs (Parent chain, NameHash, heat tracking); it must be passed to
+// Tree.Adopt before the namespace is read again.
+func (a *InodeArena) NewFile(parent *Inode, name string, size int64) (*Inode, error) {
+	if parent == nil || !parent.IsDir {
+		return nil, ErrNotDir
+	}
+	if name == "" || strings.ContainsRune(name, '/') {
+		return nil, ErrBadName
+	}
+	if len(a.slab) == 0 {
+		a.slab = make([]Inode, inodeSlabSize)
+	}
+	in := &a.slab[0]
+	a.slab = a.slab[1:]
+	*in = Inode{
+		Name:      name,
+		Parent:    parent,
+		Size:      size,
+		subInodes: 1,
+		subFiles:  1,
+		nameHash:  HashName(name),
+	}
+	return in, nil
+}
+
+// Adopt links a promised inode (from InodeArena.NewFile) into the
+// tree: it assigns the next inode number and splices it under its
+// parent, bumping ancestor subtree counters, exactly as a direct
+// Create would have. Adoption order defines inode-number order, so the
+// engine adopts in sorted rank order at barriers to stay
+// deterministic. It panics if the slot is already taken — the engine's
+// per-(parent,name) dedup must make that impossible.
+func (t *Tree) Adopt(in *Inode) {
+	parent := in.Parent
+	if in.Ino != 0 || parent.children[in.Name] != nil {
+		panic("namespace: Adopt of a linked or duplicate inode")
+	}
+	in.Ino = t.nextIn
+	t.nextIn++
+	parent.children[in.Name] = in
+	parent.order = append(parent.order, in)
+	t.byIno = append(t.byIno, in)
+	for a := parent; a != nil; a = a.Parent {
+		a.subInodes++
+		a.subFiles += in.subFiles
+	}
+}

@@ -141,6 +141,18 @@ func (p *Partition) GoverningEntry(in *Inode) Entry {
 	return p.RootEntry()
 }
 
+// GoverningChildEntry returns the entry that would govern a child of
+// parent with the given name hash, without the child having to exist:
+// it is exactly GoverningEntry of such a child. The engine routes
+// not-yet-created files with it, so a create is sharded to the same
+// rank lane that will own the inode once adopted.
+func (p *Partition) GoverningChildEntry(parent *Inode, nameHash uint32) Entry {
+	if e, ok := p.lookupEntry(parent.Ino, nameHash); ok {
+		return e
+	}
+	return p.GoverningEntry(parent)
+}
+
 // AuthOf returns the MDS authoritative for the inode.
 func (p *Partition) AuthOf(in *Inode) MDSID {
 	return p.GoverningEntry(in).Auth

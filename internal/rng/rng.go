@@ -8,7 +8,10 @@
 // cryptographically secure and must never be used for security purposes.
 package rng
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // Source is a deterministic pseudo-random source. The zero value is a
 // valid generator seeded with 0; prefer New to make seeding explicit.
@@ -45,12 +48,38 @@ func (s *Source) Float64() float64 {
 	return float64(s.Uint64()>>11) / (1 << 53)
 }
 
+// Uint64n returns a uniform value in [0, n) using Lemire's
+// multiply-shift rejection method. A plain Uint64()%n is biased toward
+// small residues whenever n does not divide 2^64; the bias is tiny for
+// small n but systematic, and it skews every shuffle and bounded draw in
+// the simulator. Lemire maps the 64-bit draw into [0, n) via the high
+// half of a 128-bit product and rejects only the sliver of draws that
+// land in the unrepresentable remainder, so every value in [0, n) is
+// exactly equally likely. It panics if n == 0.
+func (s *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n called with n == 0")
+	}
+	hi, lo := bits.Mul64(s.Uint64(), n)
+	if lo < n {
+		// thresh = 2^64 mod n: draws with lo below it fall in the
+		// truncated final bucket and must be redrawn. The rejection
+		// probability is < n/2^64, so the loop essentially never spins
+		// for simulator-sized n.
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(s.Uint64(), n)
+		}
+	}
+	return hi
+}
+
 // Intn returns a uniform value in [0, n). It panics if n <= 0.
 func (s *Source) Intn(n int) int {
 	if n <= 0 {
 		panic("rng: Intn called with n <= 0")
 	}
-	return int(s.Uint64() % uint64(n))
+	return int(s.Uint64n(uint64(n)))
 }
 
 // Int63n returns a uniform value in [0, n). It panics if n <= 0.
@@ -58,7 +87,7 @@ func (s *Source) Int63n(n int64) int64 {
 	if n <= 0 {
 		panic("rng: Int63n called with n <= 0")
 	}
-	return int64(s.Uint64() % uint64(n))
+	return int64(s.Uint64n(uint64(n)))
 }
 
 // Bool returns true with probability p.

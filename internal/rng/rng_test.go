@@ -87,6 +87,59 @@ func TestIntnRange(t *testing.T) {
 	}
 }
 
+// TestUint64nUnbiased distinguishes Lemire rejection from the old
+// Uint64()%n at a bound chosen to make modulo bias enormous: with
+// n = 3<<62, the residues [0, 1<<62) are hit by two 64-bit ranges under
+// %n but only one under unbiased generation, so the head fraction is
+// 1/2 biased vs 1/3 unbiased. A few thousand draws separate the two by
+// dozens of standard deviations.
+func TestUint64nUnbiased(t *testing.T) {
+	s := New(61)
+	const n = uint64(3) << 62
+	const draws = 30000
+	head := 0
+	for i := 0; i < draws; i++ {
+		v := s.Uint64n(n)
+		if v >= n {
+			t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+		}
+		if v < 1<<62 {
+			head++
+		}
+	}
+	frac := float64(head) / draws
+	if math.Abs(frac-1.0/3) > 0.02 {
+		t.Fatalf("head fraction %v, want ~1/3 (1/2 would mean modulo bias)", frac)
+	}
+}
+
+// TestUint64nSmallBoundUniform sanity-checks per-bucket uniformity at a
+// small bound (chi-square style tolerance on each bucket).
+func TestUint64nSmallBoundUniform(t *testing.T) {
+	s := New(67)
+	const n = 7
+	const draws = 140000
+	var counts [n]int
+	for i := 0; i < draws; i++ {
+		counts[s.Uint64n(n)]++
+	}
+	for b, c := range counts {
+		frac := float64(c) / draws
+		if math.Abs(frac-1.0/n) > 0.01 {
+			t.Fatalf("bucket %d frac %v, want ~%v", b, frac, 1.0/n)
+		}
+	}
+}
+
+func TestUint64nPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
 func TestIntnPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -142,6 +142,19 @@ func (w *window) key(k namespace.FragKey) *Counters {
 //     (counted once per inode per window);
 //   - first visit: the inode had never been accessed before.
 func (c *Collector) Record(key namespace.FragKey, in *namespace.Inode, epoch int64) {
+	if c.RecordNoVisit(key, in, epoch) {
+		in.MarkVisited()
+	}
+}
+
+// RecordNoVisit is Record with the first-ever-visit MarkVisited side
+// effect left to the caller: it returns true when the inode had never
+// been accessed before, in which case the caller owes it a
+// MarkVisited. The parallel engine uses this to defer the ancestor
+// walk (which mutates shared per-directory counters) to a serial
+// barrier; everything recorded here touches only the collector and the
+// inode itself, both owned by the serving rank.
+func (c *Collector) RecordNoVisit(key namespace.FragKey, in *namespace.Inode, epoch int64) (firstEver bool) {
 	if epoch != c.epoch {
 		c.BeginEpoch(epoch)
 	}
@@ -150,9 +163,6 @@ func (c *Collector) Record(key namespace.FragKey, in *namespace.Inode, epoch int
 	recentBefore := false
 	if firstThisWindow && everSeen {
 		recentBefore = in.Hot.RecentEpochs(epoch-1, c.history) > 0
-	}
-	if !everSeen {
-		in.MarkVisited()
 	}
 	in.Hot.Touch(epoch)
 
@@ -181,6 +191,7 @@ func (c *Collector) Record(key namespace.FragKey, in *namespace.Inode, epoch int
 			break
 		}
 	}
+	return !everSeen
 }
 
 // CreditSibling applies one unit of sibling-correlation l_s credit to

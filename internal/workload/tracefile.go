@@ -172,6 +172,11 @@ type traceStream struct {
 	pos  int
 }
 
+// ReadsTree marks the stream as tree-reading (see TreeReader): replay
+// resolves recorded paths against the live namespace, so ops after a
+// create must not be drawn until that create has been applied.
+func (s *traceStream) ReadsTree() bool { return true }
+
 func (s *traceStream) Next() (Op, bool) {
 	for s.pos < len(s.ops) {
 		p := s.ops[s.pos]
