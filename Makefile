@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench gobench audit fuzz elastic replication
+.PHONY: all build test vet race check bench gobench audit fuzz elastic replication batched
 
 all: check
 
@@ -26,9 +26,9 @@ check: build vet race
 # ns/tick and ops/sec ratios are informational (host-dependent), but the
 # run fails if any case's allocs/tick regresses by more than 10%.
 # Regenerate the baseline after an intentional change with
-# `go run ./cmd/lunule-bench -tickbench -tickbench-out BENCH_pr7.json`.
+# `go run ./cmd/lunule-bench -tickbench -tickbench-out BENCH_pr8.json`.
 bench:
-	$(GO) run ./cmd/lunule-bench -tickbench -tickbench-baseline BENCH_pr7.json
+	$(GO) run ./cmd/lunule-bench -tickbench -tickbench-baseline BENCH_pr8.json
 
 # elastic runs the audited autoscaler suite: the diurnal-wave experiment
 # (elastic vs static fleets) plus an audited scale-up/drain-down smoke of
@@ -43,6 +43,14 @@ elastic:
 replication:
 	$(GO) run ./cmd/lunule-bench -exp replication -audit
 	$(GO) run ./cmd/lunule-sim -replication 2 -mds 5 -clients 16 -mtbf 300 -mttr 60 -recoveryticks 30 -audit -audit-every-tick -maxticks 2000 >/dev/null
+
+# batched runs the audited write-back batching suite: the sync vs
+# write-back JCT experiment (MDtest + CNN ingest) plus an audited
+# write-back MDtest CLI smoke on a multi-worker pool under the race
+# detector — both must exit clean.
+batched:
+	$(GO) run ./cmd/lunule-bench -exp batched -audit
+	$(GO) run -race ./cmd/lunule-sim -workload md -batch-size 32 -flush-every 8 -workers 4 -mds 4 -clients 32 -scale 0.2 -audit -audit-every-tick -maxticks 3000 >/dev/null
 
 # gobench runs the in-package Go micro-benchmarks.
 gobench:

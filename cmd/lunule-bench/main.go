@@ -19,8 +19,9 @@ import (
 	"repro/internal/experiment"
 )
 
-// parseWorkersAxis turns the -tickbench-workers flag ("1,2,4,8") into
-// a sorted, deduplicated list of positive worker counts.
+// parseWorkersAxis turns an axis flag ("1,2,4,8" worker counts or
+// "8,32" batch sizes) into a sorted, deduplicated list of positive
+// integers.
 func parseWorkersAxis(s string) ([]int, error) {
 	seen := map[int]bool{}
 	var axis []int
@@ -31,7 +32,7 @@ func parseWorkersAxis(s string) ([]int, error) {
 		}
 		w, err := strconv.Atoi(part)
 		if err != nil || w < 1 {
-			return nil, fmt.Errorf("bad -tickbench-workers entry %q: want positive integers", part)
+			return nil, fmt.Errorf("bad axis entry %q: want positive integers", part)
 		}
 		if !seen[w] {
 			seen[w] = true
@@ -74,6 +75,8 @@ func main() {
 		tbTicks      = flag.Int64("tickbench-ticks", 300, "measured ticks per tickbench case (after a 100-tick warmup)")
 		tbWorkers    = flag.String("tickbench-workers", "1,2,4,8",
 			"comma-separated worker counts for the parallel-engine tickbench cells")
+		tbBatch = flag.String("tickbench-batch", "8,32",
+			"comma-separated batch sizes for the write-back tickbench cells")
 		tbMaxRegress = flag.Float64("tickbench-max-alloc-regress", 0.10,
 			"fail when any case's allocs/tick exceeds the baseline by more than this fraction (negative disables)")
 	)
@@ -85,7 +88,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 			os.Exit(1)
 		}
-		if err := runTickBench(os.Stdout, *tbTicks, workersAxis, *tbOut, *tbBaseline, *tbMaxRegress); err != nil {
+		batchAxis, err := parseWorkersAxis(*tbBatch)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+		if err := runTickBench(os.Stdout, *tbTicks, workersAxis, batchAxis, *tbOut, *tbBaseline, *tbMaxRegress); err != nil {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 			os.Exit(1)
 		}

@@ -23,6 +23,7 @@ type tickCase struct {
 	MDS           int     `json:"mds"`
 	Clients       int     `json:"clients"`
 	Workers       int     `json:"workers"`
+	BatchSize     int     `json:"batch_size,omitempty"`
 	Ticks         int64   `json:"ticks"`
 	NsPerTick     float64 `json:"ns_per_tick"`
 	OpsPerSec     float64 `json:"ops_per_sec"`
@@ -50,16 +51,27 @@ func tickWorkload(kind string) (workload.Generator, error) {
 		return workload.NewZipf(workload.ZipfConfig{FilesPerClient: 500, OpsPerClient: 1 << 30}), nil
 	case "shareddir":
 		return workload.NewMDShared(workload.MDSharedConfig{CreatesPerClient: 1 << 30}), nil
+	case "mdtest":
+		// MDtest create-heavy: per-client directory trees with an
+		// interleaved stat — the write-back batching target, also run
+		// sync as the group-commit speedup baseline.
+		return workload.NewMD(workload.MDConfig{
+			CreatesPerClient: 1 << 30, DirsPerClient: 4, StatEvery: 64,
+		}), nil
 	}
 	return nil, fmt.Errorf("unknown tickbench workload %q", kind)
 }
 
 // runTickCase measures one cell: warmup ticks to reach steady state,
 // then `ticks` measured steps timed with wall clock and alloc counters.
-func runTickCase(kind string, mds, clients, workers int, warmup, ticks int64) (tickCase, error) {
+func runTickCase(kind string, mds, clients, workers, batch int, warmup, ticks int64) (tickCase, error) {
 	gen, err := tickWorkload(kind)
 	if err != nil {
 		return tickCase{}, err
+	}
+	var batching *cluster.BatchingConfig
+	if batch > 1 {
+		batching = &cluster.BatchingConfig{BatchSize: batch, FlushEvery: 4}
 	}
 	var controller *elastic.Controller
 	if kind == "elastic" {
@@ -84,6 +96,7 @@ func runTickCase(kind string, mds, clients, workers int, warmup, ticks int64) (t
 		Workload:    gen,
 		Elastic:     controller,
 		Replication: rep,
+		Batching:    batching,
 	})
 	if err != nil {
 		return tickCase{}, err
@@ -103,12 +116,16 @@ func runTickCase(kind string, mds, clients, workers int, warmup, ticks int64) (t
 	if workers > 1 {
 		name = fmt.Sprintf("%s/w%d", name, workers)
 	}
+	if batch > 1 {
+		name = fmt.Sprintf("%s/b%d", name, batch)
+	}
 	tc := tickCase{
 		Name:          name,
 		Workload:      kind,
 		MDS:           mds,
 		Clients:       clients,
 		Workers:       workers,
+		BatchSize:     batch,
 		Ticks:         ticks,
 		NsPerTick:     float64(elapsed.Nanoseconds()) / float64(ticks),
 		AllocsPerTick: float64(msAfter.Mallocs-msBefore.Mallocs) / float64(ticks),
@@ -129,13 +146,13 @@ func runTickCase(kind string, mds, clients, workers int, warmup, ticks int64) (t
 // moves with the host), but allocs/tick is a property of the code:
 // when maxAllocRegress >= 0, any case whose allocs/tick exceeds the
 // baseline by more than that fraction fails the run loudly.
-func runTickBench(stdout io.Writer, ticks int64, workersAxis []int, outPath, baselinePath string, maxAllocRegress float64) error {
+func runTickBench(stdout io.Writer, ticks int64, workersAxis, batchAxis []int, outPath, baselinePath string, maxAllocRegress float64) error {
 	if ticks <= 0 {
 		ticks = 300
 	}
 	rep := tickReport{Go: runtime.Version(), Ticks: ticks}
-	emit := func(kind string, mds, clients, workers int) error {
-		tc, err := runTickCase(kind, mds, clients, workers, 100, ticks)
+	emit := func(kind string, mds, clients, workers, batch int) error {
+		tc, err := runTickCase(kind, mds, clients, workers, batch, 100, ticks)
 		if err != nil {
 			return err
 		}
@@ -144,9 +161,9 @@ func runTickBench(stdout io.Writer, ticks int64, workersAxis []int, outPath, bas
 			tc.Name, tc.NsPerTick, tc.OpsPerSec, tc.AllocsPerTick)
 		return nil
 	}
-	for _, kind := range []string{"zipf", "shareddir", "elastic", "replication"} {
+	for _, kind := range []string{"zipf", "shareddir", "mdtest", "elastic", "replication"} {
 		for _, mds := range []int{4, 8, 16} {
-			if err := emit(kind, mds, 64, 1); err != nil {
+			if err := emit(kind, mds, 64, 1, 0); err != nil {
 				return err
 			}
 		}
@@ -157,7 +174,23 @@ func runTickBench(stdout io.Writer, ticks int64, workersAxis []int, outPath, bas
 		}
 		for _, kind := range []string{"zipf", "shareddir"} {
 			for _, mds := range []int{8, 16} {
-				if err := emit(kind, mds, 64, w); err != nil {
+				if err := emit(kind, mds, 64, w, 0); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	// Write-back cells: the batch-size axis over the zipf and mdtest
+	// workloads, against the sync cells above as the speedup baseline.
+	// mds4 is server-bound at 64 clients (9600 demand vs 8000 budget):
+	// the cell where group-commit admission shows up as ops/sec.
+	for _, b := range batchAxis {
+		if b <= 1 {
+			continue // the serial matrix above is the sync baseline
+		}
+		for _, kind := range []string{"zipf", "mdtest"} {
+			for _, mds := range []int{4, 8} {
+				if err := emit(kind, mds, 64, 1, b); err != nil {
 					return err
 				}
 			}
@@ -167,7 +200,7 @@ func runTickBench(stdout io.Writer, ticks int64, workersAxis []int, outPath, bas
 	// every axis point (including 1, the serial reference).
 	for _, mds := range []int{64, 128} {
 		for _, w := range workersAxis {
-			if err := emit("zipf", mds, 256, w); err != nil {
+			if err := emit("zipf", mds, 256, w, 0); err != nil {
 				return err
 			}
 		}

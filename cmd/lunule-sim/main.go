@@ -66,6 +66,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		auditOn   = fs.Bool("audit", false, "validate cross-module invariants at every epoch; violations fail the run")
 		auditTick = fs.Bool("audit-every-tick", false, "with -audit, run the invariant checks every tick instead of every epoch")
 
+		batchSize  = fs.Int("batch-size", 0, "write-back client batching: ops per flushed batch and per server commit group (0 = synchronous per-op path)")
+		flushEvery = fs.Int64("flush-every", 0, "with -batch-size, flush a buffered run after this many ticks even if short (default 4)")
+
 		replicationR   = fs.Int("replication", 1, "subtree replication factor R: 1 = off (cold takeover only), >=2 keeps R-1 warm standbys per subtree")
 		replShipEvery  = fs.Int64("replication-ship", 5, "with -replication >= 2, journal ship interval in ticks")
 		replPromote    = fs.Int("replication-promote", 2, "with -replication >= 2, ticks after a crash before standbys promote (keep below -recoveryticks)")
@@ -123,6 +126,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var auditor *audit.Auditor
 	if *auditOn {
 		auditor = audit.New(audit.Options{EveryTick: *auditTick})
+	}
+
+	var batching *cluster.BatchingConfig
+	if *batchSize > 0 {
+		fe := *flushEvery
+		if fe == 0 {
+			fe = 4
+		}
+		batching = &cluster.BatchingConfig{BatchSize: *batchSize, FlushEvery: fe}
+	} else if *flushEvery != 0 {
+		return fail(fmt.Errorf("-flush-every needs -batch-size"))
 	}
 
 	var rep *replica.Manager
@@ -235,6 +249,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Audit:         auditor,
 		Elastic:       controller,
 		Replication:   rep,
+		Batching:      batching,
 	})
 	if err != nil {
 		return fail(err)
@@ -293,6 +308,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		tbl.Add("mean ticks to reassign", fmt.Sprintf("%.1f", rec.MeanTicksToReassign()))
 		if down := c.DownRanks(); len(down) > 0 {
 			tbl.Add("still down at end", fmt.Sprint(down))
+		}
+	}
+	if batching != nil {
+		tbl.Add("write-back batching", fmt.Sprintf("B=%d flush-every=%d", batching.BatchSize, batching.FlushEvery))
+		tbl.Add("batches flushed / committed", fmt.Sprintf("%d / %d", rec.BatchFlushes(), rec.BatchCommits()))
+		tbl.Add("batch size mean / p90", fmt.Sprintf("%.1f / %.0f", rec.MeanBatchSize(), rec.BatchSizeQuantile(0.9)))
+		tbl.Add("flush latency p50 / p99 (ticks)", fmt.Sprintf("%.0f / %.0f", rec.FlushAgeQuantile(0.5), rec.FlushAgeQuantile(0.99)))
+		if rq := rec.BatchRequeues(); rq > 0 {
+			tbl.Add("batches re-queued by crashes", fmt.Sprintf("%d", rq))
 		}
 	}
 	if rep != nil {

@@ -467,9 +467,12 @@ func (a *Auditor) checkHeat(s State) {
 // creates that raced into existence (accounted by RacedCreates).
 // Forwarding units charged at relay ranks never exceed the cluster's
 // forwarded-hop count (a saturated relay is counted as a hop but
-// cannot be charged).
+// cannot be charged). Write-back mode ("ops/journal"): each client's
+// in-flight count stays within its pending queue, the cluster's
+// in-flight total equals the ops sitting in rank group-commit journals,
+// and a down rank's journal is empty.
 func (a *Auditor) checkOps(s State) {
-	var done int64
+	var done, inflight int64
 	for _, cl := range s.Clients {
 		issued, pending := cl.Issued(), cl.PendingOps()
 		if issued != cl.OpsDone()+pending {
@@ -477,12 +480,34 @@ func (a *Auditor) checkOps(s State) {
 				"client %d: issued %d != done %d + pending %d",
 				cl.ID, issued, cl.OpsDone(), pending)
 		}
+		if fl := cl.Inflight(); fl < 0 || fl > pending {
+			// Write-back mode: journaled ops are a prefix of the
+			// pending queue, never more than it holds.
+			a.failf(s.Tick, "ops/conservation",
+				"client %d: inflight %d outside [0, pending %d]",
+				cl.ID, fl, pending)
+		} else {
+			inflight += fl
+		}
 		done += cl.OpsDone()
 	}
-	var served, fwd int64
+	var served, fwd, journaled int64
 	for _, srv := range s.Servers {
 		served += srv.OpsTotal()
 		fwd += srv.Forwards()
+		jops := srv.Journal().Ops()
+		journaled += jops
+		if !srv.Up() && jops != 0 {
+			// A crash drops the rank's unapplied journal (the batches
+			// re-queue client-side), and nothing may flush to it while
+			// it is down.
+			a.failf(s.Tick, "ops/journal",
+				"rank %d: down with %d journaled ops", srv.ID, jops)
+		}
+	}
+	if inflight != journaled {
+		a.failf(s.Tick, "ops/journal",
+			"client in-flight ops %d != journaled ops %d", inflight, journaled)
 	}
 	if done != served+s.RacedCreates {
 		a.failf(s.Tick, "ops/conservation",

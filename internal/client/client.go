@@ -30,6 +30,12 @@ type Client struct {
 	pending []pendingOp
 	head    int   // index of the queue head within pending
 	debt    int64 // unpaid data bytes
+	// inflight counts queued ops that have been flushed into a server's
+	// group-commit journal in write-back mode. They stay in pending (the
+	// client remains the source of truth until the batch is applied), so
+	// issued == opsDone + pending always holds; inflight only partitions
+	// the queue into [journaled prefix | locally buffered suffix].
+	inflight int64
 
 	streamDone bool
 	readsTree  bool // stream consults the live namespace in Next()
@@ -146,6 +152,12 @@ func New(id int, spec workload.ClientSpec, baseRate float64) *Client {
 // not draw ahead of an unadopted create for such streams.
 func (c *Client) StreamReadsTree() bool { return c.readsTree }
 
+// StreamDrained reports whether the client's stream is exhausted: every
+// op it will ever issue is already queued. The write-back planner uses
+// it for the tail flush (a final short run would otherwise wait out
+// FlushEvery for ops that can never arrive).
+func (c *Client) StreamDrained() bool { return c.streamDone }
+
 // StartTick returns the tick at which the client begins issuing.
 func (c *Client) StartTick() int64 { return c.startTick }
 
@@ -221,6 +233,39 @@ func (c *Client) PeekOp(k int, tick int64) (workload.Op, bool) {
 	}
 	return c.pending[c.head+k].op, true
 }
+
+// PeekSince returns the tick the k-th queued op was drawn from the
+// stream. The op must exist (see PeekOp); the write-back planner uses
+// the draw tick of the oldest buffered op to age-trigger flushes.
+func (c *Client) PeekSince(k int) int64 { return c.pending[c.head+k].since }
+
+// OpAt returns the k-th queued op without consulting the stream. The
+// op must already be queued (see PeekOp): the write-back serve path
+// reads admitted batch ops, which are always journaled and queued, so
+// it can skip PeekOp's draw loop on its per-op fast path.
+func (c *Client) OpAt(k int) workload.Op { return c.pending[c.head+k].op }
+
+// MarkInflight records that the first n buffered ops past the current
+// in-flight prefix have been flushed into a group-commit journal.
+func (c *Client) MarkInflight(n int) { c.inflight += int64(n) }
+
+// Inflight returns how many queued ops sit in server-side journals.
+func (c *Client) Inflight() int64 { return c.inflight }
+
+// RequeueInflight returns n journaled ops to the locally buffered state
+// after their batch was dropped (rank crash with an unapplied journal).
+// The ops never left pending, so this is exactly-once by construction:
+// the batch object is gone and the ops re-flush like fresh buffers.
+func (c *Client) RequeueInflight(n int64) {
+	c.inflight -= n
+	if c.inflight < 0 {
+		c.inflight = 0
+	}
+}
+
+// BufferedOps returns how many queued ops are still buffered locally
+// (issued but not yet flushed to any journal).
+func (c *Client) BufferedOps() int64 { return c.PendingOps() - c.inflight }
 
 // Issued returns how many ops the client has drawn from its stream.
 // Every issued op is either completed or still queued — the
@@ -311,6 +356,11 @@ func (c *Client) CompleteOp(tick int64) int64 {
 		c.head = 0
 	}
 	c.opsDone++
+	if c.inflight > 0 {
+		// Write-back mode: the served op was the head of a journaled
+		// batch; shrink the in-flight prefix with it.
+		c.inflight--
+	}
 	c.backoff = 0
 	c.retryAt = 0
 	c.backoffRank = -1

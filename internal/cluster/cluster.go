@@ -123,6 +123,25 @@ type Config struct {
 	// restores R after losses and drains. nil (the R=1 cluster) keeps
 	// the cold-takeover behaviour at zero tick-path cost.
 	Replication *replica.Manager
+	// Batching enables write-back client batching with server-side
+	// group commit (wb.go): clients buffer ops locally, flush them in
+	// per-rank batches, and servers apply a batch through a
+	// group-commit journal at one budget unit per BatchSize ops. nil
+	// keeps the synchronous per-op path; the degenerate {1,1} setting
+	// also runs the sync path (verbatim — the differential tests prove
+	// byte-identity).
+	Batching *BatchingConfig
+}
+
+// BatchingConfig shapes the write-back mode.
+type BatchingConfig struct {
+	// BatchSize is the op count that makes a buffered run flushable and
+	// the commit-group granularity on the server (ops per budget unit).
+	BatchSize int
+	// FlushEvery is the age bound: a run whose oldest op has been
+	// buffered this many ticks flushes regardless of size. 1 means
+	// every buffered run flushes every tick.
+	FlushEvery int64
 }
 
 func (c *Config) defaults() {
@@ -258,6 +277,9 @@ func New(cfg Config) (*Cluster, error) {
 	cfg.defaults()
 	if cfg.Balancer == nil {
 		return nil, errors.New("cluster: config requires a balancer")
+	}
+	if bc := cfg.Batching; bc != nil && (bc.BatchSize < 1 || bc.FlushEvery < 1) {
+		return nil, errors.New("cluster: batching requires BatchSize >= 1 and FlushEvery >= 1")
 	}
 	if cfg.Workload == nil {
 		return nil, errors.New("cluster: config requires a workload")
@@ -464,6 +486,12 @@ func (c *Cluster) CrashMDS(rank int) bool {
 	// If the rank later rejoins it comes back Active, not Draining.
 	delete(c.draining, id)
 	aborted := c.migrator.AbortRank(id)
+	if c.engine.wb != nil {
+		// The dead rank's unapplied group-commit journal is lost: every
+		// batch in it re-queues its owner's outstanding suffix
+		// client-side, exactly once (wb.go).
+		c.engine.wbCrashRank(id, c.tick)
+	}
 	c.orphaned[id] = true
 	crashedAt := c.tick
 	c.crashTick[id] = crashedAt
@@ -919,6 +947,12 @@ func (c *Cluster) pumpDrains(tick int64) {
 
 // finishDrain decommissions a fully-emptied draining rank.
 func (c *Cluster) finishDrain(id namespace.MDSID, ds *drainState, tick int64) {
+	if c.engine.wb != nil {
+		// Batches of a backing-off client can outlive the drain in the
+		// rank's group-commit journal (live clients re-resolve and move
+		// theirs); re-queue them client-side before the rank retires.
+		c.engine.wbCrashRank(id, tick)
+	}
 	c.servers[id].Decommission()
 	delete(c.draining, id)
 	c.drainsDone++

@@ -160,6 +160,10 @@ type rankLane struct {
 	chain   []namespace.MDSID
 	aside   map[createKey]*namespace.Inode
 	arena   namespace.InodeArena
+
+	// batchCommits counts group-commit applications this round
+	// (write-back mode only; always zero in the sync engine).
+	batchCommits int64
 }
 
 // engine holds the phased tick engine's amortized state.
@@ -192,6 +196,12 @@ type engine struct {
 	beginTickFn func(int)
 	planFn      func(int)
 	serveFn     func(int)
+
+	// wb is the write-back batching state (wb.go), non-nil only when
+	// Config.Batching selects a real batching regime. The degenerate
+	// {BatchSize:1, FlushEvery:1} configuration leaves it nil so the
+	// sync path runs verbatim.
+	wb *wbState
 }
 
 // newEngine builds the engine for a freshly constructed cluster,
@@ -230,6 +240,9 @@ func newEngine(c *Cluster, src *rng.Source) *engine {
 	e.beginTickFn = func(k int) { e.cohorts[k].beginTick(e) }
 	e.planFn = func(k int) { e.cohorts[k].plan(e, e.tick) }
 	e.serveFn = func(j int) { e.serveRank(e.activeRanks[j], e.tick, e.epoch) }
+	if bc := c.cfg.Batching; bc != nil && (bc.BatchSize > 1 || bc.FlushEvery > 1) {
+		e.wb = newWBState(e, bc)
+	}
 	return e
 }
 
@@ -262,12 +275,24 @@ func (e *engine) ensure() {
 			co.byRank = append(co.byRank, nil)
 		}
 	}
+	if e.wb != nil {
+		for len(e.wb.byRank) < nr {
+			e.wb.byRank = append(e.wb.byRank, nil)
+		}
+		for len(e.wb.rankRounds) < nr {
+			e.wb.rankRounds = append(e.wb.rankRounds, 0)
+		}
+	}
 }
 
 // serveTick runs the serve phase of one tick: gating and credit
 // accrual, the routing/serve rounds, latency merge, and job-completion
 // sweep. It replaces the old serial perm-ordered client loop.
 func (e *engine) serveTick(tick, epoch int64) {
+	if e.wb != nil {
+		e.serveTickWB(tick, epoch)
+		return
+	}
 	c := e.c
 	e.ensure()
 	e.tick, e.epoch = tick, epoch
@@ -724,8 +749,18 @@ func (e *engine) applyBarrier(tick int64) {
 	c := e.c
 	for _, r := range e.activeRanks {
 		lane := e.lanes[r]
-		for _, in := range lane.creates {
-			c.tree.Adopt(in)
+		if e.wb != nil {
+			// Write-back lanes promise creates probe-free; duplicate
+			// (parent, name) slots are decided here, in rank order.
+			for _, in := range lane.creates {
+				if _, ok := c.tree.AdoptOrExisting(in); !ok {
+					lane.racedN++
+				}
+			}
+		} else {
+			for _, in := range lane.creates {
+				c.tree.Adopt(in)
+			}
 		}
 		lane.creates = lane.creates[:0]
 		if len(lane.aside) > 0 {
@@ -749,6 +784,10 @@ func (e *engine) applyBarrier(tick int64) {
 		c.stalledDown += lane.downN
 		c.racedCreates += lane.racedN
 		lane.fwdN, lane.downN, lane.racedN = 0, 0, 0
+		if lane.batchCommits != 0 {
+			c.rec.AddBatchCommits(lane.batchCommits)
+			lane.batchCommits = 0
+		}
 		for _, ev := range lane.events {
 			c.bus.EmitPooled(ev)
 		}

@@ -113,6 +113,21 @@ var engineScenarios = []struct {
 		cfg.Replication = replica.MustManager(replica.DefaultPolicy())
 		return nil
 	}},
+	{"batched", func(cfg *Config) func(*Cluster) {
+		// Write-back mode with a mid-run crash: flush/admit ordering,
+		// batch serve rounds, and the crash-requeue sweep all have to
+		// reproduce byte-identically at every worker count.
+		var sched fault.Schedule
+		sched.Crash(50, 2).Recover(120, 2)
+		cfg.MDS = 4
+		cfg.Clients = 16
+		cfg.Seed = 11
+		cfg.RecoveryTicks = 12
+		cfg.Faults = &sched
+		cfg.Workload = failoverZipf()
+		cfg.Batching = &BatchingConfig{BatchSize: 8, FlushEvery: 4}
+		return nil
+	}},
 }
 
 // TestParallelEngineDifferential is the correctness contract of the

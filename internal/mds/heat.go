@@ -90,6 +90,14 @@ func (t *heatTable) bump(c *heatCell) {
 	c.epoch = t.epoch
 }
 
+// bumpN folds the pending decay into the cell and adds n accesses in
+// one write — the group-commit path's weighted bump. Within an epoch
+// decay is constant, so n unit bumps and one n-weighted bump agree.
+func (t *heatTable) bumpN(c *heatCell, n int) {
+	c.val = t.value(c) + float64(n)
+	c.epoch = t.epoch
+}
+
 // keyCell returns the cell for a subtree entry, creating it on first use.
 func (t *heatTable) keyCell(key namespace.FragKey) *heatCell {
 	c := t.byKey[key]

@@ -78,6 +78,11 @@ type Server struct {
 	cacheGen   uint64
 
 	loadHistory []float64 // per-epoch load (ops/sec), appended by EndEpoch
+
+	// journal is the rank's group-commit journal of write-back batches
+	// awaiting application (empty unless the cluster runs in write-back
+	// mode). A crash drops it; the engine re-queues the ops client-side.
+	journal Journal
 }
 
 // NewServer creates an MDS with the given per-tick capacity. The
@@ -100,6 +105,7 @@ func NewServer(id namespace.MDSID, capacity, historyWindows int, heatDecay float
 		heat:           newHeatTable(heatDecay),
 		chainCache:     make(map[namespace.Ino]*dirChain),
 		cacheGen:       1,
+		journal:        Journal{rank: id},
 	}
 }
 
@@ -286,6 +292,62 @@ func (s *Server) ServeDeferVisit(e namespace.Entry, in *namespace.Inode, epoch i
 
 // NoteStall records a request that could not be served this tick.
 func (s *Server) NoteStall() { s.stallsTotal++ }
+
+// Journal returns the rank's group-commit journal of write-back
+// batches. It is empty unless the cluster runs clients in write-back
+// mode; the auditor sums Journal().Ops() across ranks against the
+// clients' in-flight counters.
+func (s *Server) Journal() *Journal { return &s.journal }
+
+// ConsumeGroupBudget charges one budget unit for a commit group — the
+// group-commit amortization: a group of up to BatchSize batched ops
+// costs the server what one synchronous op would. Returns false without
+// charging when the server is saturated this tick.
+func (s *Server) ConsumeGroupBudget() bool {
+	if s.budget <= 0 {
+		return false
+	}
+	s.budget--
+	return true
+}
+
+// AddOps credits n already-admitted batch ops to the serve counters
+// without consuming budget (the budget was charged per commit group, not
+// per op). The per-op trace-collector and latency work still happens in
+// the engine; only the counters are batched here.
+func (s *Server) AddOps(n int) {
+	if n <= 0 {
+		return
+	}
+	s.opsTick += n
+	s.opsEpoch += int64(n)
+	s.opsTotal += int64(n)
+}
+
+// AddHeatRun charges n accesses under one parent directory in a single
+// weighted walk — the batch path's amortized form of addHeat. in is a
+// representative inode of the run (all ops in the run share in.Parent
+// and the governing key).
+func (s *Server) AddHeatRun(key namespace.FragKey, in *namespace.Inode, n int) {
+	if n <= 0 {
+		return
+	}
+	kc := s.heat.keyCell(key)
+	s.heat.bumpN(kc, n)
+	kc.ops += int64(n)
+	par := in.Parent
+	if par == nil {
+		return
+	}
+	cc := s.chainCache[par.Ino]
+	if cc == nil || cc.gen != s.cacheGen || cc.stop != key.Dir {
+		cc = s.buildChain(par, key.Dir)
+		s.chainCache[par.Ino] = cc
+	}
+	for _, c := range cc.dirs {
+		s.heat.bumpN(c, n)
+	}
+}
 
 // addHeat charges one access to the subtree entry's counter and to
 // every directory from the inode's parent up to the subtree root.

@@ -47,6 +47,18 @@ type Recorder struct {
 	latency    [maxLatencyBucket]int64
 	latencyN   int64
 	latencySum int64
+
+	// Write-back batching counters (zero unless the run used write-back
+	// clients). batchSize histograms the op count of flushed batches
+	// (index i counts batches of i+1 ops, overflow in the last slot);
+	// flushAge histograms how many ticks the batch's oldest op was
+	// buffered before the flush.
+	batchFlushes  int64
+	batchCommits  int64
+	batchRequeues int64
+	batchOps      int64
+	batchSize     [maxLatencyBucket]int64
+	flushAge      [maxLatencyBucket]int64
 }
 
 // RecoveryEvent records one completed failover takeover.
@@ -236,6 +248,67 @@ func (r *Recorder) MeanLatency() float64 {
 // quantiles agree exactly with quantiles of the raw latency sample.
 func (r *Recorder) LatencyQuantile(q float64) float64 {
 	return stats.QuantileOfCounts(r.latency[:], func(i int) float64 { return float64(i + 1) }, q)
+}
+
+// AddBatchFlush records one write-back batch flushed into a rank's
+// group-commit journal: its op count and the buffering age (ticks since
+// the batch's oldest op was drawn) feed the batch-size and flush-age
+// histograms.
+func (r *Recorder) AddBatchFlush(n int, age int64) {
+	r.batchFlushes++
+	r.batchOps += int64(n)
+	idx := n - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= maxLatencyBucket {
+		idx = maxLatencyBucket - 1
+	}
+	r.batchSize[idx]++
+	if age < 0 {
+		age = 0
+	}
+	if age >= maxLatencyBucket {
+		age = maxLatencyBucket - 1
+	}
+	r.flushAge[age]++
+}
+
+// AddBatchCommits records batch (or batch-prefix) applications by the
+// serve phase.
+func (r *Recorder) AddBatchCommits(n int64) { r.batchCommits += n }
+
+// AddBatchRequeue records one batch dropped at rank crash and re-queued
+// client-side.
+func (r *Recorder) AddBatchRequeue() { r.batchRequeues++ }
+
+// BatchFlushes returns how many write-back batches were flushed.
+func (r *Recorder) BatchFlushes() int64 { return r.batchFlushes }
+
+// BatchCommits returns how many batch applications the serve phase ran.
+func (r *Recorder) BatchCommits() int64 { return r.batchCommits }
+
+// BatchRequeues returns how many batches crashes dropped back to their
+// clients.
+func (r *Recorder) BatchRequeues() int64 { return r.batchRequeues }
+
+// MeanBatchSize returns the average op count of flushed batches (0 when
+// no batches were flushed).
+func (r *Recorder) MeanBatchSize() float64 {
+	if r.batchFlushes == 0 {
+		return 0
+	}
+	return float64(r.batchOps) / float64(r.batchFlushes)
+}
+
+// BatchSizeQuantile returns the q-quantile flushed-batch op count.
+func (r *Recorder) BatchSizeQuantile(q float64) float64 {
+	return stats.QuantileOfCounts(r.batchSize[:], func(i int) float64 { return float64(i + 1) }, q)
+}
+
+// FlushAgeQuantile returns the q-quantile flush age in ticks.
+func (r *Recorder) FlushAgeQuantile(q float64) float64 {
+	return stats.QuantileOfCounts(r.flushAge[:], func(i int) float64 { return float64(i) }, q)
 }
 
 // MeanIF returns the run's average imbalance factor.

@@ -68,3 +68,27 @@ func (t *Tree) Adopt(in *Inode) {
 		a.subFiles += in.subFiles
 	}
 }
+
+// AdoptOrExisting is Adopt for the write-back engine's probe-free
+// create path: the serving lane promises an inode without a
+// pre-adoption duplicate check, and the race is decided here, at the
+// serial barrier, in deterministic rank order. When the (parent, name)
+// slot is already linked — by an earlier tick, or an earlier create in
+// the same barrier — the promised inode is discarded and the existing
+// one returned with adopted=false.
+func (t *Tree) AdoptOrExisting(in *Inode) (linked *Inode, adopted bool) {
+	parent := in.Parent
+	if ex := parent.children[in.Name]; ex != nil {
+		return ex, false
+	}
+	in.Ino = t.nextIn
+	t.nextIn++
+	parent.children[in.Name] = in
+	parent.order = append(parent.order, in)
+	t.byIno = append(t.byIno, in)
+	for a := parent; a != nil; a = a.Parent {
+		a.subInodes++
+		a.subFiles += in.subFiles
+	}
+	return in, true
+}

@@ -86,6 +86,18 @@ const (
 	// EvRereplicate marks one completed background re-replication sync
 	// (fields: dir, frag, rank, inodes).
 	EvRereplicate Type = "rereplicate"
+
+	// Write-back batching events.
+	// EvBatchFlush marks a client flushing a buffered run into a rank's
+	// group-commit journal (fields: client, rank, n, age, depth).
+	EvBatchFlush Type = "batch_flush"
+	// EvBatchCommit marks a journaled batch (or admitted prefix of one)
+	// applied by the serve phase (fields: rank, client, n, groups).
+	EvBatchCommit Type = "batch_commit"
+	// EvBatchRequeue marks a batch dropped with its rank's unapplied
+	// journal at crash time; its ops re-queue client-side exactly once
+	// (fields: rank, client, n).
+	EvBatchRequeue Type = "batch_requeue"
 )
 
 // AllTypes lists every event type in a stable order.
@@ -98,6 +110,7 @@ func AllTypes() []Type {
 		EvBackoffEnter, EvBackoffExit,
 		EvScaleDecision, EvDrainStart, EvDrainComplete,
 		EvReplicaPromote, EvJournalLag, EvRereplicate,
+		EvBatchFlush, EvBatchCommit, EvBatchRequeue,
 	}
 }
 

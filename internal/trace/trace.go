@@ -194,6 +194,33 @@ func (c *Collector) RecordNoVisit(key namespace.FragKey, in *namespace.Inode, ep
 	return !everSeen
 }
 
+// RecordFreshRun records n first-ever accesses to freshly created
+// inodes under one parent directory in a single pass: every fresh
+// inode is by construction a first visit, a distinct visit, and not
+// recurrent, so the whole run folds into one counter delta and one
+// ancestor-chain walk instead of n map probes each. The caller owes
+// each inode its Hot.Touch and MarkVisited (the write-back serve path
+// touches at serve time and marks at the adoption barrier).
+func (c *Collector) RecordFreshRun(key namespace.FragKey, parent *namespace.Inode, epoch int64, n int64) {
+	if n <= 0 {
+		return
+	}
+	if epoch != c.epoch {
+		c.BeginEpoch(epoch)
+	}
+	var delta Counters
+	delta.Visits, delta.Distinct, delta.FirstVisits = int(n), int(n), int(n)
+	w := c.slot(epoch)
+	w.key(key).Add(delta)
+	root := key.Dir
+	for d := parent; d != nil; d = d.Parent {
+		w.dir(d.Ino).Add(delta)
+		if d.Ino == root {
+			break
+		}
+	}
+}
+
 // CreditSibling applies one unit of sibling-correlation l_s credit to
 // the subtree at key (rooted at rootDir) in the current window.
 func (c *Collector) CreditSibling(key namespace.FragKey, epoch int64) {

@@ -15,11 +15,29 @@ type MDConfig struct {
 	// CreatesPerClient is the number of files each client creates
 	// (paper: 100000; scaled by default).
 	CreatesPerClient int
+	// DirsPerClient spreads each client's creates across this many
+	// private subdirectories instead of one flat directory (MDtest's
+	// branching-factor knob: -b/-I shape). The creates walk the
+	// subdirectories sequentially, filling one before moving on, so a
+	// write-back client's batches still form long same-directory runs.
+	// 0 or 1 keeps the single flat directory.
+	DirsPerClient int
+	// StatEvery inserts a getattr on the working directory every k
+	// creates (MDtest's stat phase interleaved, create-heavy mix). The
+	// stat targets the directory, not the just-created file, so op
+	// streams stay independent of unadopted creates. 0 disables.
+	StatEvery int
 }
 
 func (c *MDConfig) defaults() {
 	if c.CreatesPerClient == 0 {
 		c.CreatesPerClient = 4000
+	}
+	if c.DirsPerClient < 1 {
+		c.DirsPerClient = 1
+	}
+	if c.StatEvery < 0 {
+		c.StatEvery = 0
 	}
 }
 
@@ -48,17 +66,39 @@ func (g *MD) Setup(tree *namespace.Tree, clients int, src *rng.Source) ([]Client
 		if err != nil {
 			return nil, err
 		}
-		streams[c] = newCreates(dir, c, g.cfg.CreatesPerClient)
+		dirs := []*namespace.Inode{dir}
+		if g.cfg.DirsPerClient > 1 {
+			dirs = dirs[:0]
+			for d := 0; d < g.cfg.DirsPerClient; d++ {
+				sub, err := tree.Mkdir(dir, fmt.Sprintf("d%03d", d))
+				if err != nil {
+					return nil, err
+				}
+				dirs = append(dirs, sub)
+			}
+		}
+		streams[c] = newCreates(dirs, c, g.cfg.CreatesPerClient, g.cfg.StatEvery)
 	}
 	return jitterSpecs(streams, 0, 0, src.Fork(1)), nil
 }
 
-func newCreates(dir *namespace.Inode, client, n int) Stream {
-	// One create per refill: reuse a single-element batch (seqStream
-	// copies ops out by value) and build names with one allocation each
-	// — the string the tree stores — instead of a Sprintf per op. The
-	// names are byte-identical to fmt.Sprintf("c%03d.f%07d", client, i).
+func newCreates(dirs []*namespace.Inode, client, n, statEvery int) Stream {
+	// One op per refill: reuse a single-element batch (seqStream copies
+	// ops out by value) and build names with one allocation each — the
+	// string the tree stores — instead of a Sprintf per op. The names
+	// are byte-identical to fmt.Sprintf("c%03d.f%07d", client, i).
+	// Creates fill the directories sequentially (n/len(dirs) files
+	// each, remainder in the last); every statEvery creates a getattr
+	// on the working directory is interleaved.
 	i := 0
+	per := n
+	if len(dirs) > 1 {
+		per = n / len(dirs)
+		if per < 1 {
+			per = 1
+		}
+	}
+	sinceStat := 0
 	buf := make([]Op, 1)
 	prefix := fmt.Sprintf("c%03d.f", client)
 	scratch := make([]byte, 0, len(prefix)+8)
@@ -66,13 +106,23 @@ func newCreates(dir *namespace.Inode, client, n int) Stream {
 		if i >= n {
 			return nil
 		}
+		d := i / per
+		if d >= len(dirs) {
+			d = len(dirs) - 1
+		}
+		if statEvery > 0 && sinceStat >= statEvery {
+			sinceStat = 0
+			buf[0] = Op{Kind: OpGetattr, Target: dirs[d]}
+			return buf
+		}
 		scratch = appendPadded(append(scratch[:0], prefix...), i, 7)
 		buf[0] = Op{
 			Kind:   OpCreate,
-			Parent: dir,
+			Parent: dirs[d],
 			Name:   string(scratch),
 		}
 		i++
+		sinceStat++
 		return buf
 	}}
 }

@@ -42,7 +42,7 @@ func (g *MDShared) Setup(tree *namespace.Tree, clients int, src *rng.Source) ([]
 	}
 	streams := make([]Stream, clients)
 	for c := 0; c < clients; c++ {
-		streams[c] = newCreates(dir, c, g.cfg.CreatesPerClient)
+		streams[c] = newCreates([]*namespace.Inode{dir}, c, g.cfg.CreatesPerClient, 0)
 	}
 	return jitterSpecs(streams, 0, 0, src.Fork(1)), nil
 }
