@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench gobench audit fuzz elastic replication batched
+.PHONY: all build test vet race check bench gobench audit fuzz elastic replication batched readstorm
 
 all: check
 
@@ -26,9 +26,9 @@ check: build vet race
 # ns/tick and ops/sec ratios are informational (host-dependent), but the
 # run fails if any case's allocs/tick regresses by more than 10%.
 # Regenerate the baseline after an intentional change with
-# `go run ./cmd/lunule-bench -tickbench -tickbench-out BENCH_pr8.json`.
+# `go run ./cmd/lunule-bench -tickbench -tickbench-out BENCH_pr9.json`.
 bench:
-	$(GO) run ./cmd/lunule-bench -tickbench -tickbench-baseline BENCH_pr8.json
+	$(GO) run ./cmd/lunule-bench -tickbench -tickbench-baseline BENCH_pr9.json
 
 # elastic runs the audited autoscaler suite: the diurnal-wave experiment
 # (elastic vs static fleets) plus an audited scale-up/drain-down smoke of
@@ -51,6 +51,14 @@ replication:
 batched:
 	$(GO) run ./cmd/lunule-bench -exp batched -audit
 	$(GO) run -race ./cmd/lunule-sim -workload md -batch-size 32 -flush-every 8 -workers 4 -mds 4 -clients 32 -scale 0.2 -audit -audit-every-tick -maxticks 3000 >/dev/null
+
+# readstorm runs the audited lease-based read-replica suite: the
+# shared-directory read-storm experiment (leases vs pure migration vs
+# vanilla) plus an audited lease-enabled CLI smoke on a multi-worker
+# pool under the race detector — both must exit clean.
+readstorm:
+	$(GO) run ./cmd/lunule-bench -exp readstorm -audit
+	$(GO) run -race ./cmd/lunule-sim -workload readstorm -replication 3 -lease-ticks 40 -workers 4 -mds 5 -clients 40 -scale 0.5 -audit -audit-every-tick -maxticks 3000 >/dev/null
 
 # gobench runs the in-package Go micro-benchmarks.
 gobench:

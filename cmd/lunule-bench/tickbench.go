@@ -51,6 +51,13 @@ func tickWorkload(kind string) (workload.Generator, error) {
 		return workload.NewZipf(workload.ZipfConfig{FilesPerClient: 500, OpsPerClient: 1 << 30}), nil
 	case "shareddir":
 		return workload.NewMDShared(workload.MDSharedConfig{CreatesPerClient: 1 << 30}), nil
+	case "readstorm":
+		// Shared-directory read storm on a lease-enabled cluster: it
+		// prices the lease routing path (holder spread, per-tick grant
+		// refreshes, routing-table sync) at steady state.
+		return workload.NewReadStorm(workload.ReadStormConfig{
+			Files: 2000, OpsPerClient: 1 << 30,
+		}), nil
 	case "mdtest":
 		// MDtest create-heavy: per-client directory trees with an
 		// interleaved stat — the write-back batching target, also run
@@ -85,6 +92,13 @@ func runTickCase(kind string, mds, clients, workers, batch int, warmup, ticks in
 	var rep *replica.Manager
 	if kind == "replication" {
 		rep = replica.MustManager(replica.DefaultPolicy())
+	}
+	if kind == "readstorm" {
+		pol := replica.DefaultPolicy()
+		pol.R = 3
+		pol.LeaseTicks = 40
+		pol.ReplicateReadFrac = 0.75
+		rep = replica.MustManager(pol)
 	}
 	c, err := cluster.New(cluster.Config{
 		MDS:         mds,
@@ -161,7 +175,7 @@ func runTickBench(stdout io.Writer, ticks int64, workersAxis, batchAxis []int, o
 			tc.Name, tc.NsPerTick, tc.OpsPerSec, tc.AllocsPerTick)
 		return nil
 	}
-	for _, kind := range []string{"zipf", "shareddir", "mdtest", "elastic", "replication"} {
+	for _, kind := range []string{"zipf", "shareddir", "mdtest", "readstorm", "elastic", "replication"} {
 		for _, mds := range []int{4, 8, 16} {
 			if err := emit(kind, mds, 64, 1, 0); err != nil {
 				return err

@@ -73,6 +73,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		replShipEvery  = fs.Int64("replication-ship", 5, "with -replication >= 2, journal ship interval in ticks")
 		replPromote    = fs.Int("replication-promote", 2, "with -replication >= 2, ticks after a crash before standbys promote (keep below -recoveryticks)")
 		replResyncRate = fs.Int("replication-resync", 2000, "with -replication >= 2, inodes per tick one background re-replication sync copies")
+		leaseTicks     = fs.Int64("lease-ticks", 0, "with -replication >= 2, grant read leases on hot read-dominated subtrees' synced standbys for this many ticks (0 = off); holders serve reads, writes invalidate")
+		leaseReadFrac  = fs.Float64("replicate-read-frac", 0.75, "with -lease-ticks, minimum read fraction of a subtree's heat before it is replicated instead of migrated")
 
 		elasticOn   = fs.Bool("elastic", false, "enable the MDS autoscaler: grow under saturation, gracefully drain ranks when idle (-mds is the starting size)")
 		elasticMin  = fs.Int("elastic-min", 0, "with -elastic, rank floor (default: the starting -mds count)")
@@ -146,6 +148,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		pol.ShipEvery = *replShipEvery
 		pol.PromoteTicks = *replPromote
 		pol.ResyncRate = *replResyncRate
+		pol.LeaseTicks = *leaseTicks
+		if *leaseTicks > 0 {
+			pol.ReplicateReadFrac = *leaseReadFrac
+		} else if *leaseReadFrac != 0.75 {
+			return fail(fmt.Errorf("-replicate-read-frac needs -lease-ticks"))
+		}
 		var err error
 		rep, err = replica.NewManager(pol)
 		if err != nil {
@@ -153,6 +161,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	} else if *replShipEvery != 5 || *replPromote != 2 || *replResyncRate != 2000 {
 		return fail(fmt.Errorf("-replication-ship/-replication-promote/-replication-resync need -replication >= 2"))
+	} else if *leaseTicks != 0 {
+		return fail(fmt.Errorf("-lease-ticks needs -replication >= 2"))
+	} else if *leaseReadFrac != 0.75 {
+		return fail(fmt.Errorf("-replicate-read-frac needs -lease-ticks"))
 	}
 
 	var controller *elastic.Controller
@@ -324,6 +336,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		tbl.Add("warm promotions", fmt.Sprintf("%d (warm recoveries: %d)", c.Promotions(), rec.WarmRecoveries()))
 		tbl.Add("resyncs started / done", fmt.Sprintf("%d / %d", rep.ResyncsStarted(), rep.ResyncsDone()))
 		tbl.Add("journal records / max lag", fmt.Sprintf("%d / %d", rep.Records(), rep.MaxLag()))
+		if rep.Policy().LeaseTicks > 0 {
+			tbl.Add("read leases", fmt.Sprintf("term=%d ticks, read-frac>=%.2f", rep.Policy().LeaseTicks, rep.Policy().ReplicateReadFrac))
+			tbl.Add("lease serves (by holders)", fmt.Sprintf("%d", c.LeaseServes()))
+			tbl.Add("leases granted / revoked / expired",
+				fmt.Sprintf("%d / %d / %d", rep.LeasesGranted(), rep.LeasesRevoked(), rep.LeasesExpired()))
+		}
 	}
 	if controller != nil {
 		tbl.Add("scale-ups applied", fmt.Sprintf("%d", c.ScaleUps()))
@@ -458,6 +476,8 @@ func canonical(w string) string {
 		return "MD"
 	case "mixed":
 		return "Mixed"
+	case "readstorm", "read-storm":
+		return "ReadStorm"
 	default:
 		return w
 	}

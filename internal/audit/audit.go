@@ -137,6 +137,10 @@ type State struct {
 	// Replicas is the warm-standby replication manager; nil skips the
 	// replica invariant family.
 	Replicas *replica.Manager
+	// LeaseWriteRevoked lists the subtree keys whose read leases were
+	// write-invalidated during this tick; the lease family checks each
+	// holds zero live leases by tick end.
+	LeaseWriteRevoked []namespace.FragKey
 }
 
 // Check runs every invariant over the state and returns how many new
@@ -156,7 +160,63 @@ func (a *Auditor) Check(s State) int {
 	a.checkOps(s)
 	a.checkLifecycle(s)
 	a.checkReplicas(s)
+	a.checkLeases(s)
 	return len(a.violations) - before
+}
+
+// checkLeases validates the read-lease invariants at tick end. Term
+// ("lease/term"): no lease outlives its expiry — the expiry pump drops
+// Expires <= tick before the audit runs, so a surviving stale lease
+// means the pump was skipped. Holder ("lease/holder"): every lease is
+// held by a synced standby of its group — never the primary, never a
+// rank that is down or draining (leases die with DropRank, and standbys
+// were already confined to Active ranks). Invalidation
+// ("lease/invalidate"): a subtree whose leases were write-revoked this
+// tick holds zero live leases — the epoch-close grant pass must not
+// have re-granted them in the same tick.
+func (a *Auditor) checkLeases(s State) {
+	if s.Replicas == nil || s.Replicas.Policy().LeaseTicks <= 0 {
+		return
+	}
+	s.Replicas.ForEachGroup(func(g *replica.Group) {
+		for _, l := range g.Leases {
+			if l.Expires <= s.Tick {
+				a.failf(s.Tick, "lease/term",
+					"group %v/%s lease on rank %d expired at tick %d, still live",
+					g.Key.Dir, g.Key.Frag, l.Rank, l.Expires)
+			}
+			if l.Rank == g.Primary {
+				a.failf(s.Tick, "lease/holder",
+					"group %v/%s lease held by its own primary %d",
+					g.Key.Dir, g.Key.Frag, l.Rank)
+			}
+			synced := false
+			for _, sb := range g.Standbys {
+				if sb.Rank == l.Rank && !sb.Syncing {
+					synced = true
+					break
+				}
+			}
+			if !synced {
+				a.failf(s.Tick, "lease/holder",
+					"group %v/%s lease on rank %d, which is not a synced standby",
+					g.Key.Dir, g.Key.Frag, l.Rank)
+			}
+			if int(l.Rank) < 0 || int(l.Rank) >= len(s.Servers) ||
+				!s.Servers[l.Rank].Up() || s.Servers[l.Rank].Draining() {
+				a.failf(s.Tick, "lease/holder",
+					"group %v/%s lease on dead or draining rank %d",
+					g.Key.Dir, g.Key.Frag, l.Rank)
+			}
+		}
+	})
+	for _, k := range s.LeaseWriteRevoked {
+		if n := len(s.Replicas.LeaseHolders(k)); n > 0 {
+			a.failf(s.Tick, "lease/invalidate",
+				"write-invalidated subtree %v/%s still holds %d live leases",
+				k.Dir, k.Frag, n)
+		}
+	}
 }
 
 // checkReplicas validates the warm-standby replication invariants.
@@ -211,9 +271,13 @@ func (a *Auditor) checkReplicas(s State) {
 			}
 			seen[sb.Rank] = true
 			if int(sb.Rank) < 0 || int(sb.Rank) >= len(s.Servers) ||
-				!s.Servers[sb.Rank].Up() {
+				!s.Servers[sb.Rank].Up() || s.Servers[sb.Rank].Draining() {
+				// Active ranks only: Up() spans Draining, and a draining
+				// rank is leaving — placement, resync, and promotion all
+				// gate on the importable predicate, so a standby parked
+				// on one is a placement bug, not a transient.
 				a.failf(s.Tick, "replica/conservation",
-					"group %v/%s standby on dead rank %d",
+					"group %v/%s standby on dead or draining rank %d",
 					g.Key.Dir, g.Key.Frag, sb.Rank)
 			}
 			if sb.Syncing {

@@ -50,6 +50,20 @@ type View interface {
 	Ledger() *msg.Ledger
 }
 
+// LeaseView is the optional migrate-vs-replicate extension of View: a
+// view that also knows which subtrees are served (or about to be
+// served) under read leases. A leased subtree's read storm is already
+// spread across its replica holders, so migrating it would revoke the
+// leases and re-concentrate the load on the new authority — candidate
+// enumeration skips such entries. Views without lease state (or with
+// leases disabled) simply don't implement this, and enumeration is
+// unchanged.
+type LeaseView interface {
+	// ReadLeased reports whether the subtree entry holds live read
+	// leases, or qualifies for them and is waiting on standby syncs.
+	ReadLeased(key namespace.FragKey) bool
+}
+
 // Balancer decides, once per epoch, whether and what to migrate.
 type Balancer interface {
 	// Name identifies the policy in experiment output.

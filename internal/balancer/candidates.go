@@ -74,9 +74,16 @@ func Enumerate(v View, exporter namespace.MDSID, lf LoadFuncs, refineAbove float
 		return out
 	}
 
+	// Subtrees served under read leases are handled by replication, not
+	// migration (see LeaseView); they are skipped like frozen entries.
+	lv, _ := v.(LeaseView)
+
 	rootKey := namespace.FragKey{Dir: namespace.RootIno, Frag: namespace.WholeFrag}
 	for _, e := range part.EntriesOf(exporter) {
 		if skip[e.Key] || v.Migrator().IsFrozen(e.Key) {
+			continue
+		}
+		if lv != nil && lv.ReadLeased(e.Key) {
 			continue
 		}
 		if e.Key == rootKey {

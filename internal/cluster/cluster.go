@@ -265,6 +265,16 @@ type Cluster struct {
 	repEnv     replica.Env
 	promotions int64
 
+	// Lease state (lease.go): the routing table the engine's plan phase
+	// consults (nil = leases off), the manager lease-version it was last
+	// rebuilt at, the cumulative lease-served op counter, and the keys
+	// write-invalidated during the current tick (reset each Step; the
+	// auditor checks they hold zero live leases at tick end).
+	lt                *namespace.LeaseTable
+	ltVersion         uint64
+	leaseServes       int64
+	leaseWriteRevoked []namespace.FragKey
+
 	// events holds scheduled cluster mutations (MDS additions,
 	// capacity changes, crashes, recoveries), fired at the top of their
 	// tick in submission order.
@@ -352,6 +362,9 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Replication != nil {
 		cl.rep = cfg.Replication
 		cl.initReplication()
+		if cl.leasesEnabled() {
+			cl.lt = namespace.NewLeaseTable()
+		}
 	}
 	if cfg.Faults != nil {
 		cl.ApplyFaults(*cfg.Faults)
@@ -503,7 +516,13 @@ func (c *Cluster) CrashMDS(rank int) bool {
 		// standby set, and schedule the warm promotion pass well inside
 		// the cold window. Whatever it still leads then moves to synced
 		// standbys; the rest waits for the cold takeover above.
+		before := c.rep.LeasesRevoked()
 		c.rep.DropRank(id)
+		if n := c.rep.LeasesRevoked() - before; n > 0 && c.bus.Enabled(obs.EvLeaseRevoke) {
+			f := obs.AcquireF()
+			f["rank"], f["n"], f["reason"] = rank, n, "crash"
+			c.bus.EmitPooled(obs.Event{Tick: crashedAt, Type: obs.EvLeaseRevoke, Fields: f})
+		}
 		c.events.Schedule(crashedAt+int64(c.rep.Policy().PromoteTicks), func() {
 			c.promoteReplicas(id, crashedAt)
 		})
@@ -845,8 +864,15 @@ func (c *Cluster) StartDrain(rank int) bool {
 	c.draining[id] = &drainState{startTick: c.tick, startEntries: entries}
 	if c.rep != nil {
 		// A draining rank is leaving: its standby copies retire with it
-		// and the re-replicator restores R on ranks that stay.
+		// (read leases included) and the re-replicator restores R on
+		// ranks that stay.
+		before := c.rep.LeasesRevoked()
 		c.rep.DropRank(id)
+		if n := c.rep.LeasesRevoked() - before; n > 0 && c.bus.Enabled(obs.EvLeaseRevoke) {
+			f := obs.AcquireF()
+			f["rank"], f["n"], f["reason"] = rank, n, "drain"
+			c.bus.EmitPooled(obs.Event{Tick: c.tick, Type: obs.EvLeaseRevoke, Fields: f})
+		}
 	}
 	if c.bus.Enabled(obs.EvDrainStart) {
 		c.bus.Emit(obs.Event{Tick: c.tick, Type: obs.EvDrainStart,
@@ -1063,6 +1089,14 @@ func (c *Cluster) Step() {
 		c.osds.BeginTick()
 	}
 	c.migrator.Tick(tick)
+	if c.lt != nil {
+		// New tick, new write-invalidation window; then sync the routing
+		// table before any planning — the events above may have crashed
+		// or drained a lease holder, and a read run must never be routed
+		// to a rank whose lease just died with it.
+		c.leaseWriteRevoked = c.leaseWriteRevoked[:0]
+		c.syncLeaseTable()
+	}
 	if len(c.draining) != 0 {
 		// Drains in flight: keep the bulk export fed. The guard keeps
 		// the fixed-size (and between-drains) tick loop allocation-free.
@@ -1094,17 +1128,18 @@ func (c *Cluster) Step() {
 	if c.auditor != nil &&
 		(c.auditor.EveryTick() || (tick+1)%int64(c.cfg.EpochTicks) == 0) {
 		c.auditor.Check(audit.State{
-			Tick:         tick,
-			Tree:         c.tree,
-			Partition:    c.part,
-			Resolver:     c.resolver,
-			Migrator:     c.migrator,
-			Servers:      c.servers,
-			Clients:      c.clients,
-			Orphaned:     c.orphanFn,
-			Forwards:     c.forwards,
-			RacedCreates: c.racedCreates,
-			Replicas:     c.rep,
+			Tick:              tick,
+			Tree:              c.tree,
+			Partition:         c.part,
+			Resolver:          c.resolver,
+			Migrator:          c.migrator,
+			Servers:           c.servers,
+			Clients:           c.clients,
+			Orphaned:          c.orphanFn,
+			Forwards:          c.forwards,
+			RacedCreates:      c.racedCreates,
+			Replicas:          c.rep,
+			LeaseWriteRevoked: c.leaseWriteRevoked,
 		})
 	}
 	c.tick++
@@ -1149,6 +1184,12 @@ func (c *Cluster) endEpoch(tick, epoch int64) {
 	if c.elastic != nil {
 		c.elasticStep(tick, epoch, res.IF)
 	}
+	if c.lt != nil {
+		// Carve hot read-dominated directories before the rebalance, so
+		// migration planning sees the carved entries; lease grants
+		// themselves run every tick in pumpLeases.
+		c.leaseStep(tick)
+	}
 	c.cfg.Balancer.Rebalance(&view{c: c, epoch: epoch})
 }
 
@@ -1189,3 +1230,28 @@ func (v *view) Capacity() float64                  { return float64(v.c.cfg.Capa
 func (v *view) HeatDecay() float64                 { return v.c.cfg.HeatDecay }
 func (v *view) Rand() *rng.Source                  { return v.c.rand }
 func (v *view) Ledger() *msg.Ledger                { return v.c.ledger }
+
+// ReadLeased implements balancer.LeaseView: a subtree currently served
+// under read leases — or one that qualifies and is waiting for its
+// standbys to sync — is handled by replication, not migration. Moving
+// it would invalidate (or forestall) the leases and re-concentrate its
+// read storm on the new authority; the pending case matters because a
+// freshly carved hot directory is exportable for the epoch or two its
+// replication group needs to sync, and exporting it restarts that
+// clock. Always false when leases are off, so the balancer behaves
+// exactly as before.
+func (v *view) ReadLeased(key namespace.FragKey) bool {
+	c := v.c
+	if c.lt == nil {
+		return false
+	}
+	if c.lt.Has(key) {
+		return true
+	}
+	e, ok := c.part.EntryAt(key)
+	if !ok {
+		return false
+	}
+	hot := leaseHotFrac * float64(c.cfg.Capacity) * float64(c.cfg.EpochTicks)
+	return c.leaseQualifies(e, hot, c.rep.Policy().ReplicateReadFrac)
+}

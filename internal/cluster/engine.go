@@ -145,15 +145,19 @@ type createKey struct {
 type rankLane struct {
 	rank namespace.MDSID
 
-	lat     metrics.LatencyShard
-	events  []obs.Event
-	fwdOut  []int32 // per rank: relay charges buffered this round
-	fwdTch  []int32 // ranks with nonzero fwdOut, in first-charge order
-	stalls  []int64 // per rank: stall notes buffered this round
-	stallT  []int32
-	fwdN    int64 // cluster-level forward count delta
-	downN   int64 // stalled-on-down delta
-	racedN  int64 // raced-create delta
+	lat    metrics.LatencyShard
+	events []obs.Event
+	fwdOut []int32 // per rank: relay charges buffered this round
+	fwdTch []int32 // ranks with nonzero fwdOut, in first-charge order
+	stalls []int64 // per rank: stall notes buffered this round
+	stallT []int32
+	fwdN   int64 // cluster-level forward count delta
+	downN  int64 // stalled-on-down delta
+	racedN int64 // raced-create delta
+	leaseN int64 // ops served under a read lease this round
+	// revokes buffers write-invalidated leased keys; the barrier applies
+	// them (revokeLease) in ascending rank order.
+	revokes []namespace.FragKey
 	debtors []int32
 	creates []*namespace.Inode
 	visits  []*namespace.Inode
@@ -447,6 +451,14 @@ func (co *cohort) plan(e *engine, tick int64) {
 			}
 			ent := co.resolve(e, op)
 			rank := int32(ent.Auth)
+			if lt := e.c.lt; lt != nil && lt.Len() != 0 && !op.Kind.IsWrite() {
+				// A read on a leased subtree may serve at a lease holder
+				// instead of the authority; the run then targets the
+				// holder's rank and budget.
+				if holders := lt.Holders(ent.Key); len(holders) != 0 && op.Target != nil {
+					rank = e.leaseRank(ent, holders, op.Target.Ino)
+				}
+			}
 			if nRuns == 0 || co.runs[start+nRuns-1].rank != rank {
 				co.runs = append(co.runs, run{
 					client: ci, rank: rank, ent: int32(len(co.entBuf)),
@@ -544,6 +556,43 @@ func (e *engine) scheduleRound(r int) bool {
 		}
 	}
 	return true
+}
+
+// leaseRank picks the rank that serves a read on a leased subtree: the
+// target's inode number indexes uniformly into the live candidates
+// (the primary plus the lease holders, in that fixed order), so a
+// storm's reads spread evenly and every inode sticks to exactly one
+// replica while the holder set is stable. Inode-sticky — not
+// client-sticky — is load-bearing for the parallel engine: the serve
+// path touches per-inode access state (trace.RecordNoVisit mutates
+// Hot), and routing all reads of an inode to one rank keeps that state
+// single-writer within a tick. Routing on last-epoch loads instead
+// oscillates: the loads are a full epoch stale, so whichever rank
+// looked idle at epoch close absorbs the entire next epoch's stream
+// and the roles flip every epoch. The uniform spread is stable, keeps
+// every candidate under demand/n, and is a pure function of (entry,
+// holders, inode) — no shared mutable reads — so it is identical at
+// every worker count.
+func (e *engine) leaseRank(ent namespace.Entry, holders []namespace.MDSID, ino namespace.Ino) int32 {
+	c := e.c
+	var cands [8]namespace.MDSID
+	n := 0
+	add := func(r namespace.MDSID) {
+		if n < len(cands) && int(r) < len(c.servers) && c.servers[r].Up() {
+			cands[n] = r
+			n++
+		}
+	}
+	add(ent.Auth)
+	for _, h := range holders {
+		if h != ent.Auth {
+			add(h)
+		}
+	}
+	if n == 0 {
+		return int32(ent.Auth)
+	}
+	return int32(cands[ino%namespace.Ino(n)])
 }
 
 // rebuildActive keeps, for the next planning phase, the clients that
@@ -683,9 +732,20 @@ func (e *engine) execOp(lane *rankLane, auth *mds.Server, cl *client.Client,
 		lane.noteStall(lane.rank)
 		return execStall, 0
 	}
+	write := op.Kind.IsWrite()
+	if lane.rank != entry.Auth {
+		// Lease serve: the plan phase routed this read to a
+		// non-authoritative lease holder, which serves it from its
+		// replica — no client-cache or relay work (the client holds the
+		// lease grant; reads resolve to the holder directly).
+		e.serve(lane, auth, entry, target, epoch, false)
+		lane.leaseN++
+		return execOK, 0
+	}
 	cached, ok := cl.CacheLookup(entry.Key)
 	if ok && cached == entry.Auth {
-		e.serve(lane, auth, entry, target, epoch)
+		e.serve(lane, auth, entry, target, epoch, write)
+		e.noteWrite(lane, entry.Key, write)
 		return execOK, 0
 	}
 	// Cache miss or stale mapping: the request relays along the
@@ -711,21 +771,31 @@ func (e *engine) execOp(lane *rankLane, auth *mds.Server, cl *client.Client,
 		lane.fwdOut[h]++
 	}
 	lane.fwdN += int64(len(chain) - 1)
-	e.serve(lane, auth, entry, target, epoch)
+	e.serve(lane, auth, entry, target, epoch, write)
+	e.noteWrite(lane, entry.Key, write)
 	cl.CacheStore(entry.Key, entry.Auth)
 	return execOK, 0
 }
 
-// serve records one access on the authoritative server, deferring the
-// first-visit ancestor walk to the barrier (it writes shared ancestor
-// counters).
+// serve records one access on the serving rank (the authority, or a
+// lease holder for lease-served reads), deferring the first-visit
+// ancestor walk to the barrier (it writes shared ancestor counters).
 func (e *engine) serve(lane *rankLane, auth *mds.Server, entry namespace.Entry,
-	in *namespace.Inode, epoch int64) {
+	in *namespace.Inode, epoch int64, write bool) {
 	// Cannot fail: HasBudget was checked by the caller and only this
 	// lane drains this server's budget mid-round.
-	_, first := auth.ServeDeferVisit(entry, in, epoch)
+	_, first := auth.ServeDeferVisit(entry, in, epoch, write)
 	if first {
 		lane.visits = append(lane.visits, in)
+	}
+}
+
+// noteWrite buffers a lease revoke when a write just served against a
+// leased subtree; the barrier applies it. Reads and unleased subtrees
+// cost one branch.
+func (e *engine) noteWrite(lane *rankLane, key namespace.FragKey, write bool) {
+	if write && e.c.lt != nil && e.c.lt.Has(key) {
+		lane.revokes = append(lane.revokes, key)
 	}
 }
 
@@ -783,7 +853,12 @@ func (e *engine) applyBarrier(tick int64) {
 		c.forwards += lane.fwdN
 		c.stalledDown += lane.downN
 		c.racedCreates += lane.racedN
-		lane.fwdN, lane.downN, lane.racedN = 0, 0, 0
+		c.leaseServes += lane.leaseN
+		lane.fwdN, lane.downN, lane.racedN, lane.leaseN = 0, 0, 0, 0
+		for _, k := range lane.revokes {
+			c.revokeLease(k, "write")
+		}
+		lane.revokes = lane.revokes[:0]
 		if lane.batchCommits != 0 {
 			c.rec.AddBatchCommits(lane.batchCommits)
 			lane.batchCommits = 0

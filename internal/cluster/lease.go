@@ -1,0 +1,277 @@
+// Lease-based hot-read replication: the cluster grants short read
+// leases on the synced standbys of hot, read-dominated subtrees, so a
+// shared-directory read storm is served by up to R ranks instead of
+// queueing on the one authoritative server. The replica manager owns
+// lease truth (grant/revoke/expiry, always on synced standbys only);
+// this file is the control loop around it — the epoch-close grant and
+// carve passes, the routing-table sync, and the write/migration/crash
+// invalidation plumbing. Everything is guarded by c.lt != nil, so a
+// cluster without leases (LeaseTicks 0, the default) pays nothing.
+//
+// Determinism: grants and carves run in the serial epoch close over the
+// partition's sorted entry snapshot; write revokes are buffered in rank
+// lanes during the parallel serve rounds and applied at the serial
+// barriers in ascending rank order; the routing table is rebuilt only
+// in serial sections. The lease path is therefore byte-identical at
+// every worker count, which the differential tests prove.
+package cluster
+
+import (
+	"repro/internal/namespace"
+	"repro/internal/obs"
+	"repro/internal/replica"
+)
+
+const (
+	// leaseHotFrac is the grant threshold: a subtree qualifies for read
+	// leases when its epoch heat exceeds this fraction of one rank's
+	// epoch capacity — i.e. it alone keeps a server half-busy, so
+	// spreading its reads across standbys buys real headroom.
+	leaseHotFrac = 0.5
+	// leaseCarveDepth bounds the carve pass's descent from a qualifying
+	// entry toward the deepest hot read-dominated directory.
+	leaseCarveDepth = 8
+	// leaseCarvesPerEpoch bounds how many new subtree entries the carve
+	// pass creates per epoch close, so a pathological namespace cannot
+	// explode the partition in one epoch.
+	leaseCarvesPerEpoch = 4
+)
+
+// leasesEnabled reports whether the lease machinery is configured on.
+func (c *Cluster) leasesEnabled() bool {
+	return c.rep != nil && c.rep.Policy().LeaseTicks > 0
+}
+
+// syncLeaseTable rebuilds the routing table from the manager's lease
+// state when lease membership has changed. Serial sections only.
+func (c *Cluster) syncLeaseTable() {
+	if c.lt == nil {
+		return
+	}
+	v := c.rep.LeaseVersion()
+	if v == c.ltVersion {
+		return
+	}
+	c.lt.Clear()
+	c.rep.ForEachGroup(func(g *replica.Group) {
+		if len(g.Leases) == 0 {
+			return
+		}
+		holders := make([]namespace.MDSID, len(g.Leases))
+		for i, l := range g.Leases {
+			holders[i] = l.Rank
+		}
+		c.lt.Set(g.Key, holders)
+	})
+	c.ltVersion = v
+}
+
+// revokeLease drops every lease on the subtree — the write-invalidation
+// path, applied at the serial apply barriers (reason "write") in
+// ascending rank order. Idempotent: a key already revoked this round is
+// a no-op, so duplicate buffered revokes are harmless.
+func (c *Cluster) revokeLease(key namespace.FragKey, reason string) {
+	if c.lt == nil || !c.lt.Has(key) {
+		return
+	}
+	n := c.rep.RevokeLeases(key)
+	c.lt.Remove(key)
+	c.ltVersion = c.rep.LeaseVersion()
+	if reason == "write" {
+		// The auditor checks that a write-invalidated subtree holds zero
+		// live leases at tick end; the grant pass also skips these keys
+		// this epoch (the write has not shipped to the standbys yet).
+		c.leaseWriteRevoked = append(c.leaseWriteRevoked, key)
+	}
+	if n > 0 && c.bus.Enabled(obs.EvLeaseRevoke) {
+		f := obs.AcquireF()
+		f["dir"], f["frag"] = key.Dir, key.Frag.String()
+		f["n"], f["reason"] = n, reason
+		c.bus.EmitPooled(obs.Event{Tick: c.tick, Type: obs.EvLeaseRevoke, Fields: f})
+	}
+}
+
+// writeRevokedThisTick reports whether the key's leases were write-
+// invalidated during the current tick's serve rounds. The per-tick list
+// is tiny (one entry per written leased subtree), so a linear scan
+// beats a map here.
+func (c *Cluster) writeRevokedThisTick(key namespace.FragKey) bool {
+	for _, k := range c.leaseWriteRevoked {
+		if k == key {
+			return true
+		}
+	}
+	return false
+}
+
+// subtreeHeatRW sums a subtree key's (total, read) heat across its
+// primary and current lease holders. Lease-served reads land on the
+// holders' counters, so reading the primary alone would watch a leased
+// subtree "cool down" and let its leases lapse every term.
+func (c *Cluster) subtreeHeatRW(e namespace.Entry) (total, read float64) {
+	total, read = c.servers[e.Auth].KeyHeatRW(e.Key)
+	for _, h := range c.lt.Holders(e.Key) {
+		if int(h) < len(c.servers) && h != e.Auth {
+			t, r := c.servers[h].KeyHeatRW(e.Key)
+			total += t
+			read += r
+		}
+	}
+	return total, read
+}
+
+// dirHeatRW sums a directory's (total, read) heat the same way, over
+// the servers that may have served it under the governing entry.
+func (c *Cluster) dirHeatRW(e namespace.Entry, ino namespace.Ino) (total, read float64) {
+	total, read = c.servers[e.Auth].DirHeatRW(ino)
+	for _, h := range c.lt.Holders(e.Key) {
+		if int(h) < len(c.servers) && h != e.Auth {
+			t, r := c.servers[h].DirHeatRW(ino)
+			total += t
+			read += r
+		}
+	}
+	return total, read
+}
+
+// leaseQualifies reports whether a subtree entry currently qualifies
+// for read leases: live authority, not mid-migration, not write-
+// invalidated this tick, hot enough, and read-dominated enough.
+func (c *Cluster) leaseQualifies(e namespace.Entry, hot, minFrac float64) bool {
+	if int(e.Auth) >= len(c.servers) || !c.servers[e.Auth].Up() {
+		return false
+	}
+	if c.migrator.IsFrozen(e.Key) || c.writeRevokedThisTick(e.Key) {
+		return false
+	}
+	total, read := c.subtreeHeatRW(e)
+	return total >= hot && read >= minFrac*total
+}
+
+// leaseGrants grants (or refreshes) read leases on every qualifying
+// subtree's synced standbys. It runs every tick inside the replication
+// pump — not just at epoch close — so a freshly carved or re-replicated
+// hot subtree starts serving from its standbys the tick its syncs
+// finish, instead of queueing on one rank for the rest of the epoch.
+// Refreshes are silent in the manager, so the steady state costs one
+// Expires bump per holder per tick and emits nothing.
+func (c *Cluster) leaseGrants(tick int64) {
+	pol := c.rep.Policy()
+	hot := leaseHotFrac * float64(c.cfg.Capacity) * float64(c.cfg.EpochTicks)
+	minFrac := pol.ReplicateReadFrac
+	for _, e := range c.part.Entries() {
+		if !c.leaseQualifies(e, hot, minFrac) {
+			continue
+		}
+		granted := c.rep.GrantLeases(e.Key, tick+pol.LeaseTicks)
+		if len(granted) > 0 && c.bus.Enabled(obs.EvLeaseGrant) {
+			ranks := make([]int, len(granted))
+			for i, r := range granted {
+				ranks[i] = int(r)
+			}
+			total, read := c.subtreeHeatRW(e)
+			f := obs.AcquireF()
+			f["dir"], f["frag"] = e.Key.Dir, e.Key.Frag.String()
+			f["ranks"], f["until"], f["read_frac"] = ranks, tick+pol.LeaseTicks, read/total
+			c.bus.EmitPooled(obs.Event{Tick: tick, Type: obs.EvLeaseGrant, Fields: f})
+		}
+	}
+}
+
+// leaseStep is the epoch-close carve pass: descend into hot
+// read-dominated directories and carve them into their own subtree
+// entries, so the next reconcile builds them tight replication groups
+// and the per-tick grant pass can lease exactly the storm's directory
+// instead of a whole rank's subtree. It runs before the balancer's
+// Rebalance so migration planning sees the carved entries.
+func (c *Cluster) leaseStep(tick int64) {
+	pol := c.rep.Policy()
+	hot := leaseHotFrac * float64(c.cfg.Capacity) * float64(c.cfg.EpochTicks)
+	minFrac := pol.ReplicateReadFrac
+	carves := leaseCarvesPerEpoch
+	// Entries() is a fresh sorted snapshot, so carving inside the loop
+	// is safe; entries carved this pass get groups at this tick's
+	// reconcile and leases as soon as their standbys sync.
+	for _, e := range c.part.Entries() {
+		if carves == 0 {
+			break
+		}
+		if !c.leaseQualifies(e, hot, minFrac) {
+			continue
+		}
+		if c.leaseCarve(e, hot, minFrac) {
+			carves--
+		}
+	}
+}
+
+// leaseCarve descends from the entry's root directory through hot
+// read-dominated child directories to the deepest one that qualifies,
+// and carves it into its own subtree entry. The point is scope: a lease
+// on a whole rank's entry (often the root early in a run) serves reads
+// correctly but freezes a huge subtree out of migration; carving
+// converges the lease onto the storm's actual directory. Directories
+// that are already subtree roots are never descended into (their own
+// entries qualify on their own), matching Partition.Carve's contract.
+func (c *Cluster) leaseCarve(e namespace.Entry, hot, minFrac float64) bool {
+	cur := c.tree.Get(e.Key.Dir)
+	if cur == nil {
+		return false
+	}
+	frag := e.Key.Frag
+	var target *namespace.Inode
+	for depth := 0; depth < leaseCarveDepth; depth++ {
+		var next *namespace.Inode
+		var nextHeat float64
+		for _, ch := range cur.ChildrenInFrag(frag) {
+			if !ch.IsDir || len(c.part.EntriesAt(ch.Ino)) != 0 {
+				continue
+			}
+			total, read := c.dirHeatRW(e, ch.Ino)
+			if total < hot || read < minFrac*total {
+				continue
+			}
+			if next == nil || total > nextHeat {
+				next, nextHeat = ch, total
+			}
+		}
+		if next == nil {
+			break
+		}
+		target, cur = next, next
+		// Below the entry's root, the whole hash space is in scope.
+		frag = namespace.WholeFrag
+	}
+	if target == nil {
+		return false
+	}
+	total, read := c.dirHeatRW(e, target.Ino)
+	ne := c.part.Carve(target)
+	// Transfer the directory's accumulated heat onto the new key: a
+	// cold carve would fail the hot/read-dominance checks and be
+	// absorbed back by the balancer's housekeeping before its
+	// replication group ever syncs.
+	c.servers[ne.Auth].SeedHeatRW(ne.Key, total, read)
+	return true
+}
+
+// pumpLeases runs inside pumpReplication after the journal pump: expire
+// leases whose term ended this tick, grant (or refresh) leases on the
+// subtrees that qualify now, then refresh the routing table if anything
+// — expiry, grants, reconcile rebases, drops — changed lease membership
+// this tick.
+func (c *Cluster) pumpLeases(tick int64) {
+	if c.lt == nil {
+		return
+	}
+	c.rep.ExpireLeases(tick)
+	c.leaseGrants(tick)
+	c.syncLeaseTable()
+}
+
+// LeaseServes returns how many ops were served under a read lease by a
+// non-authoritative holder rank.
+func (c *Cluster) LeaseServes() int64 { return c.leaseServes }
+
+// LeaseTable returns the live routing table (nil when leases are off).
+func (c *Cluster) LeaseTable() *namespace.LeaseTable { return c.lt }

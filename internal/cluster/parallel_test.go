@@ -8,6 +8,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/replica"
+	"repro/internal/workload"
 )
 
 // engineWorkerCounts are the worker counts every differential below
@@ -128,6 +129,31 @@ var engineScenarios = []struct {
 		cfg.Batching = &BatchingConfig{BatchSize: 8, FlushEvery: 4}
 		return nil
 	}},
+	{"leases", func(cfg *Config) func(*Cluster) {
+		// Lease-served read storm with writes mixed in and a holder-rank
+		// crash mid-run: lease routing, the client-sticky holder spread,
+		// write revokes at the serve barriers, carve heat seeding, and
+		// crash-driven lease pruning all have to reproduce byte-
+		// identically at every worker count.
+		var sched fault.Schedule
+		sched.Crash(30, 2).Recover(70, 2)
+		cfg.MDS = 5
+		cfg.Clients = 16
+		cfg.Seed = 11
+		cfg.RecoveryTicks = 12
+		cfg.Faults = &sched
+		cfg.Workload = workload.NewReadStorm(workload.ReadStormConfig{
+			Files:        300,
+			OpsPerClient: 8000,
+			WriteEvery:   40,
+		})
+		pol := replica.DefaultPolicy()
+		pol.R = 4
+		pol.LeaseTicks = 30
+		pol.ReplicateReadFrac = 0.6
+		cfg.Replication = replica.MustManager(pol)
+		return nil
+	}},
 }
 
 // TestParallelEngineDifferential is the correctness contract of the
@@ -171,7 +197,7 @@ func TestRecoverClearsOnlyMatchingBackoffs(t *testing.T) {
 	c.Run(40)
 
 	backingOff := map[int]int{} // rank -> clients in backoff against it
-	keep := map[int]int64{} // client -> backoff width against rank 3
+	keep := map[int]int64{}     // client -> backoff width against rank 3
 	for _, cl := range c.Clients() {
 		if cl.Backoff() > 0 {
 			backingOff[int(cl.BackoffRank())]++

@@ -18,9 +18,11 @@ import (
 // seeds the group set from the current partition.
 func (c *Cluster) initReplication() {
 	c.repEnv = replica.Env{
-		Alive: func(id namespace.MDSID) bool {
-			return int(id) < len(c.servers) && c.servers[id].Up()
-		},
+		// Eligibility is the importable predicate — Active ranks only.
+		// Using Up() here would span Draining ranks (Up = Active ||
+		// Draining since the elastic lifecycle landed) and let standbys
+		// be placed on, resynced to, or promoted onto a rank that is
+		// actively leaving the cluster.
 		Eligible: c.importable,
 		Load:     c.loadOf,
 		Stats: func(id namespace.MDSID, key namespace.FragKey) (int64, float64) {
@@ -53,11 +55,26 @@ func (c *Cluster) loadOf(id namespace.MDSID) float64 {
 // snapshot.
 func (c *Cluster) pumpReplication(tick int64) {
 	if v := c.part.Version(); v != c.repVersion {
+		before := int64(0)
+		if c.lt != nil {
+			before = c.rep.LeasesRevoked()
+		}
 		c.rep.Reconcile(c.part.Entries(), c.importable)
 		c.repVersion = v
+		if c.lt != nil {
+			// A reconcile after an authority move rebases the group and
+			// clears its leases (the new primary's standbys must re-earn
+			// them); surface those as migrate-revokes.
+			if n := c.rep.LeasesRevoked() - before; n > 0 && c.bus.Enabled(obs.EvLeaseRevoke) {
+				f := obs.AcquireF()
+				f["n"], f["reason"] = n, "migrate"
+				c.bus.EmitPooled(obs.Event{Tick: tick, Type: obs.EvLeaseRevoke, Fields: f})
+			}
+		}
 	}
 	c.repEnv.Ranks = len(c.servers)
 	c.rep.Pump(tick, c.repEnv)
+	c.pumpLeases(tick)
 	if v := c.part.Version(); v != c.repVersion {
 		// The pump itself never moves authority, but keep the stamp
 		// honest if that ever changes.

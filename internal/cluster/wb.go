@@ -534,6 +534,7 @@ func (e *engine) wbServeBatch(lane *rankLane, auth *mds.Server, cl *client.Clien
 	var runPar, runRep *namespace.Inode
 	runN := 0
 	freshN := int64(0)
+	wrote := false
 	status := execOK
 	var downRank namespace.MDSID
 	coll := auth.Collector()
@@ -615,6 +616,7 @@ func (e *engine) wbServeBatch(lane *rankLane, auth *mds.Server, cl *client.Clien
 				// touch its epoch bit now, fold its trace counters into
 				// the per-run RecordFreshRun below, and owe MarkVisited
 				// to the barrier — no collector map probes on this path.
+				wrote = true
 				target.Hot.Touch(epoch)
 				lane.visits = append(lane.visits, target)
 			} else if first := coll.RecordNoVisit(entry.Key, target, epoch); first {
@@ -627,7 +629,9 @@ func (e *engine) wbServeBatch(lane *rankLane, auth *mds.Server, cl *client.Clien
 				}
 			} else {
 				if runN > 0 {
-					auth.AddHeatRun(entry.Key, runRep, runN)
+					// Creates in a wb run are exactly its fresh inodes
+					// (probe-free promises), so reads = runN - freshN.
+					auth.AddHeatRun(entry.Key, runRep, runN, runN-int(freshN))
 					coll.RecordFreshRun(entry.Key, runPar, epoch, freshN)
 					freshN = 0
 				}
@@ -653,11 +657,17 @@ func (e *engine) wbServeBatch(lane *rankLane, auth *mds.Server, cl *client.Clien
 		}
 	}
 	if runN > 0 {
-		auth.AddHeatRun(entry.Key, runRep, runN)
+		auth.AddHeatRun(entry.Key, runRep, runN, runN-int(freshN))
 		coll.RecordFreshRun(entry.Key, runPar, epoch, freshN)
 	}
 	if served > 0 {
 		auth.AddOps(served)
+	}
+	if wrote && c.lt != nil && c.lt.Has(entry.Key) {
+		// The batch mutated a leased subtree: its read leases die at the
+		// barrier (one revoke per batch is enough — revocation is
+		// idempotent per key per tick).
+		lane.revokes = append(lane.revokes, entry.Key)
 	}
 	if applied > 0 {
 		auth.Journal().Commit(b, applied)

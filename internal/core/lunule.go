@@ -179,8 +179,15 @@ func (b *Lunule) housekeep(v balancer.View) {
 	part := v.Partition()
 	mig := v.Migrator()
 	rootKey := namespace.FragKey{Dir: namespace.RootIno, Frag: namespace.WholeFrag}
+	// Entries serving (or about to serve) read leases are deliberate
+	// carve-outs owned by the lease controller; absorbing one back into
+	// its parent would tear down its replication group each epoch.
+	lv, _ := v.(balancer.LeaseView)
 	for _, e := range part.Entries() {
 		if e.Key == rootKey || mig.IsFrozen(e.Key) || mig.PendingFor(e.Auth)[e.Key] {
+			continue
+		}
+		if lv != nil && lv.ReadLeased(e.Key) {
 			continue
 		}
 		if !v.Up(e.Auth) {

@@ -189,9 +189,16 @@ func (s *Selector) enumerate(ctx *selCtx, amount float64) []balancer.Candidate {
 	tree := ctx.part.Tree()
 	rootKey := namespace.FragKey{Dir: namespace.RootIno, Frag: namespace.WholeFrag}
 
+	// Subtrees served (or about to be served) under read leases are
+	// handled by replication, not migration (balancer.LeaseView).
+	lv, _ := ctx.v.(balancer.LeaseView)
+
 	var cands []balancer.Candidate
 	for _, e := range ctx.part.EntriesOf(ctx.ex) {
 		if skip[e.Key] || ctx.v.Migrator().IsFrozen(e.Key) {
+			continue
+		}
+		if lv != nil && lv.ReadLeased(e.Key) {
 			continue
 		}
 		if e.Key == rootKey {

@@ -201,6 +201,11 @@ func MakeWorkload(name string, scale float64) workload.Generator {
 		return workload.NewMD(workload.MDConfig{
 			CreatesPerClient: scaled(25000, scale),
 		})
+	case "ReadStorm":
+		return workload.NewReadStorm(workload.ReadStormConfig{
+			Files:        scaled(2000, scale),
+			OpsPerClient: scaled(12000, scale),
+		})
 	case "Mixed":
 		return workload.NewMixed(
 			MakeWorkload("CNN", scale),

@@ -20,7 +20,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table1", "fig2", "fig3", "fig4", "fig6", "fig7", "fig8",
 		"fig9", "fig10", "fig11", "fig12a", "fig12b",
 		"fig13a", "fig13b", "fig14", "overhead", "failover", "elastic",
-		"replication",
+		"replication", "readstorm",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {
@@ -302,6 +302,38 @@ func TestReplicationWarmBeatsCold(t *testing.T) {
 	// Losing a standby under churn must trigger background re-replication.
 	if res.Values["r2.resyncs"] == 0 {
 		t.Fatal("R=2 cell never re-replicated after a loss")
+	}
+}
+
+func TestReadStormLeasesBeatMigration(t *testing.T) {
+	res, err := Run("readstorm", Options{Scale: 0.25, Seed: 42, MaxTicks: 4000, Audit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The tentpole claim: on a shared-directory read storm, lease-based
+	// read replicas beat both the built-in balancer and migration-only
+	// Lunule on completion time AND aggregate throughput.
+	lease, van, lun := res.Values["lease.jct50"], res.Values["vanilla.jct50"], res.Values["lunule.jct50"]
+	if lease >= van || lease >= lun {
+		t.Fatalf("lease JCT p50 %v not below vanilla %v and lunule %v", lease, van, lun)
+	}
+	if lt, vt, ut := res.Values["lease.tput"], res.Values["vanilla.tput"], res.Values["lunule.tput"]; lt <= vt || lt <= ut {
+		t.Fatalf("lease ops/sec %v not above vanilla %v and lunule %v", lt, vt, ut)
+	}
+	// The win must come from lease serving, not from a lucky balancer
+	// run: holders actually served reads, and the storm directory was
+	// replicated instead of migrated.
+	if res.Values["lease.lease_serves"] == 0 {
+		t.Fatal("lease cell recorded no lease serves")
+	}
+	if res.Values["lease.granted"] == 0 {
+		t.Fatal("lease cell granted no leases")
+	}
+	// The baselines must not accidentally have lease machinery on.
+	for _, cell := range []string{"vanilla", "lunule"} {
+		if res.Values[cell+".lease_serves"] != 0 || res.Values[cell+".granted"] != 0 {
+			t.Fatalf("%s cell has lease activity", cell)
+		}
 	}
 }
 

@@ -34,11 +34,11 @@ func BenchmarkServe(b *testing.B) {
 // plus the cached directory-chain walk).
 func BenchmarkAddHeat(b *testing.B) {
 	s, e, in := benchServer(b)
-	s.addHeat(e.Key, in) // warm the chain cache
+	s.addHeat(e.Key, in, false) // warm the chain cache
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.addHeat(e.Key, in)
+		s.addHeat(e.Key, in, false)
 	}
 }
 

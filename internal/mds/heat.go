@@ -21,6 +21,12 @@ const heatPurgeEvery = 64
 type heatCell struct {
 	val   float64
 	epoch int64
+	// rval is the read component of val: the decayed heat contributed by
+	// read ops only. It shares val's epoch stamp (every write to the cell
+	// folds pending decay into both), and rval <= val always holds — val
+	// remains the exact total so every legacy consumer is unchanged. The
+	// read fraction rval/val drives the migrate-vs-replicate decision.
+	rval float64
 	// ops counts raw accesses charged to the cell (no decay) — the
 	// replication journal's delta source. Only key cells maintain it.
 	ops int64
@@ -84,17 +90,45 @@ func (t *heatTable) powAt(k int64) (float64, bool) {
 	return t.pow[k], true
 }
 
+// readValue returns the cell's decayed read-component heat at the
+// current epoch. Mirrors value() exactly, including the floor, so the
+// invariant rval <= val is preserved under decay.
+func (t *heatTable) readValue(c *heatCell) float64 {
+	k := t.epoch - c.epoch
+	if k <= 0 {
+		return c.rval
+	}
+	p, ok := t.powAt(k)
+	if !ok {
+		return 0
+	}
+	v := c.rval * p
+	if v < heatFloor {
+		return 0
+	}
+	return v
+}
+
 // bump folds the pending decay into the cell and adds one access.
-func (t *heatTable) bump(c *heatCell) {
+// Both components fold together: the cell carries one epoch stamp, so
+// any write must decay val and rval in the same step.
+func (t *heatTable) bump(c *heatCell, read bool) {
 	c.val = t.value(c) + 1
+	r := t.readValue(c)
+	if read {
+		r++
+	}
+	c.rval = r
 	c.epoch = t.epoch
 }
 
 // bumpN folds the pending decay into the cell and adds n accesses in
-// one write — the group-commit path's weighted bump. Within an epoch
-// decay is constant, so n unit bumps and one n-weighted bump agree.
-func (t *heatTable) bumpN(c *heatCell, n int) {
+// one write, nRead of which were reads — the group-commit path's
+// weighted bump. Within an epoch decay is constant, so n unit bumps and
+// one n-weighted bump agree.
+func (t *heatTable) bumpN(c *heatCell, n, nRead int) {
 	c.val = t.value(c) + float64(n)
+	c.rval = t.readValue(c) + float64(nRead)
 	c.epoch = t.epoch
 }
 

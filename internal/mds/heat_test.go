@@ -81,7 +81,7 @@ func TestLazyHeatMatchesEagerSweep(t *testing.T) {
 		bumps = append(bumps, struct{ id, n int }{3 + step%4, 1})
 		for _, b := range bumps {
 			for i := 0; i < b.n; i++ {
-				lazy.bump(cell(b.id))
+				lazy.bump(cell(b.id), false)
 				eager.bump(b.id)
 			}
 		}
@@ -106,13 +106,13 @@ func TestHeatPurgeRemovesExpiredCells(t *testing.T) {
 	key := func(i int) namespace.FragKey { return namespace.FragKey{Dir: namespace.Ino(i)} }
 	hot := lazy.keyCell(key(0))
 	for i := 0; i < 1000; i++ {
-		lazy.bump(lazy.keyCell(key(i)))
+		lazy.bump(lazy.keyCell(key(i)), false)
 	}
 	if got := len(lazy.byKey); got != 1000 {
 		t.Fatalf("table has %d cells, want 1000", got)
 	}
 	for e := 0; e < heatPurgeEvery; e++ {
-		lazy.bump(hot) // keep one cell alive across every epoch
+		lazy.bump(hot, false) // keep one cell alive across every epoch
 		if lazy.endEpoch() != (lazy.epoch%heatPurgeEvery == 0) {
 			t.Fatalf("purge signal wrong at epoch %d", lazy.epoch)
 		}

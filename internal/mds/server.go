@@ -262,9 +262,10 @@ func (s *Server) ConsumeForward() bool {
 
 // Serve processes one metadata access to in, governed by subtree entry
 // e, during the given epoch. It returns false without side effects when
-// the server is saturated this tick.
+// the server is saturated this tick. The access is charged as a read;
+// callers that know the op kind use ServeDeferVisit directly.
 func (s *Server) Serve(e namespace.Entry, in *namespace.Inode, epoch int64) bool {
-	ok, first := s.ServeDeferVisit(e, in, epoch)
+	ok, first := s.ServeDeferVisit(e, in, epoch, false)
 	if first {
 		in.MarkVisited()
 	}
@@ -277,7 +278,9 @@ func (s *Server) Serve(e namespace.Entry, in *namespace.Inode, epoch int64) bool
 // engine uses this to keep the serve path free of ancestor-chain
 // writes (MarkVisited walks shared ancestor counters), buffering the
 // inodes per rank lane and applying the walks at the serial barrier.
-func (s *Server) ServeDeferVisit(e namespace.Entry, in *namespace.Inode, epoch int64) (ok, firstVisit bool) {
+// write classifies the access for the read/write heat split; the total
+// heat charged is identical either way.
+func (s *Server) ServeDeferVisit(e namespace.Entry, in *namespace.Inode, epoch int64, write bool) (ok, firstVisit bool) {
 	if s.budget <= 0 {
 		return false, false
 	}
@@ -286,7 +289,7 @@ func (s *Server) ServeDeferVisit(e namespace.Entry, in *namespace.Inode, epoch i
 	s.opsEpoch++
 	s.opsTotal++
 	firstVisit = s.collector.RecordNoVisit(e.Key, in, epoch)
-	s.addHeat(e.Key, in)
+	s.addHeat(e.Key, in, write)
 	return true, firstVisit
 }
 
@@ -324,16 +327,16 @@ func (s *Server) AddOps(n int) {
 	s.opsTotal += int64(n)
 }
 
-// AddHeatRun charges n accesses under one parent directory in a single
-// weighted walk — the batch path's amortized form of addHeat. in is a
-// representative inode of the run (all ops in the run share in.Parent
-// and the governing key).
-func (s *Server) AddHeatRun(key namespace.FragKey, in *namespace.Inode, n int) {
+// AddHeatRun charges n accesses, nRead of which were reads, under one
+// parent directory in a single weighted walk — the batch path's
+// amortized form of addHeat. in is a representative inode of the run
+// (all ops in the run share in.Parent and the governing key).
+func (s *Server) AddHeatRun(key namespace.FragKey, in *namespace.Inode, n, nRead int) {
 	if n <= 0 {
 		return
 	}
 	kc := s.heat.keyCell(key)
-	s.heat.bumpN(kc, n)
+	s.heat.bumpN(kc, n, nRead)
 	kc.ops += int64(n)
 	par := in.Parent
 	if par == nil {
@@ -345,7 +348,7 @@ func (s *Server) AddHeatRun(key namespace.FragKey, in *namespace.Inode, n int) {
 		s.chainCache[par.Ino] = cc
 	}
 	for _, c := range cc.dirs {
-		s.heat.bumpN(c, n)
+		s.heat.bumpN(c, n, nRead)
 	}
 }
 
@@ -354,9 +357,10 @@ func (s *Server) AddHeatRun(key namespace.FragKey, in *namespace.Inode, n int) {
 // The ancestor walk is cached per parent directory (a few pointer
 // bumps in the steady state); the chain is rebuilt when the governing
 // subtree root changes (split/migration) or the cache generation moves.
-func (s *Server) addHeat(key namespace.FragKey, in *namespace.Inode) {
+func (s *Server) addHeat(key namespace.FragKey, in *namespace.Inode, write bool) {
+	read := !write
 	kc := s.heat.keyCell(key)
-	s.heat.bump(kc)
+	s.heat.bump(kc, read)
 	kc.ops++
 	par := in.Parent
 	if par == nil {
@@ -368,7 +372,7 @@ func (s *Server) addHeat(key namespace.FragKey, in *namespace.Inode) {
 		s.chainCache[par.Ino] = cc
 	}
 	for _, c := range cc.dirs {
-		s.heat.bump(c)
+		s.heat.bump(c, read)
 	}
 }
 
@@ -442,7 +446,54 @@ func (s *Server) SeedHeat(key namespace.FragKey, heat float64) {
 	}
 	c := s.heat.keyCell(key)
 	c.val = s.heat.value(c) + heat
+	// Fold the read component's pending decay under the new stamp. The
+	// seed itself lands in the write side: a promoted subtree re-earns
+	// its read-dominance from live traffic before leases re-form.
+	c.rval = s.heat.readValue(c)
 	c.epoch = s.heat.epoch
+}
+
+// SeedHeatRW installs warm popularity with an explicit read component.
+// The lease controller's carve pass uses it to transfer a directory's
+// accumulated (total, read) heat onto the freshly carved subtree key:
+// without the transfer the new key starts cold, fails the hot and
+// read-dominance checks, and is absorbed right back by housekeeping
+// before a lease can form. The read component is clamped to the total
+// to preserve the rval <= val invariant.
+func (s *Server) SeedHeatRW(key namespace.FragKey, heat, read float64) {
+	if heat <= 0 {
+		return
+	}
+	c := s.heat.keyCell(key)
+	c.val = s.heat.value(c) + heat
+	rv := s.heat.readValue(c) + read
+	if rv > c.val {
+		rv = c.val
+	}
+	c.rval = rv
+	c.epoch = s.heat.epoch
+}
+
+// KeyHeatRW returns a subtree entry's decayed popularity split into the
+// total and its read component (read <= total). The ratio read/total is
+// the migrate-vs-replicate signal: read-dominated hot subtrees get
+// read leases, write-hot ones migrate.
+func (s *Server) KeyHeatRW(key namespace.FragKey) (total, read float64) {
+	c := s.heat.byKey[key]
+	if c == nil {
+		return 0, 0
+	}
+	return s.heat.value(c), s.heat.readValue(c)
+}
+
+// DirHeatRW returns a directory's decayed popularity split into the
+// total and its read component — the lease controller's carve signal.
+func (s *Server) DirHeatRW(ino namespace.Ino) (total, read float64) {
+	c := s.heat.byDir[ino]
+	if c == nil {
+		return 0, 0
+	}
+	return s.heat.value(c), s.heat.readValue(c)
 }
 
 // HeatOfDir returns the decayed popularity accumulated at a directory.

@@ -98,6 +98,16 @@ const (
 	// journal at crash time; its ops re-queue client-side exactly once
 	// (fields: rank, client, n).
 	EvBatchRequeue Type = "batch_requeue"
+
+	// Read-lease events.
+	// EvLeaseGrant marks read leases granted on a hot read-dominated
+	// subtree's synced standbys (fields: dir, frag, ranks, until,
+	// read_frac).
+	EvLeaseGrant Type = "lease_grant"
+	// EvLeaseRevoke marks leases dying early (fields: n, reason:
+	// write|migrate|crash|drain; dir and frag on write revokes, rank on
+	// crash/drain revokes).
+	EvLeaseRevoke Type = "lease_revoke"
 )
 
 // AllTypes lists every event type in a stable order.
@@ -111,6 +121,7 @@ func AllTypes() []Type {
 		EvScaleDecision, EvDrainStart, EvDrainComplete,
 		EvReplicaPromote, EvJournalLag, EvRereplicate,
 		EvBatchFlush, EvBatchCommit, EvBatchRequeue,
+		EvLeaseGrant, EvLeaseRevoke,
 	}
 }
 

@@ -24,6 +24,7 @@ package replica
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/namespace"
 )
@@ -51,6 +52,18 @@ type Policy struct {
 	// MaxSyncsPerRank bounds concurrent inbound syncs per rank so the
 	// re-replicator cannot dogpile one idle survivor.
 	MaxSyncsPerRank int
+	// LeaseTicks, when positive, enables lease-based read-replica
+	// authority: synced standbys of hot read-dominated subtrees are
+	// granted read leases that let them serve reads for the subtree.
+	// A lease lasts LeaseTicks ticks and dies early on any write to the
+	// subtree, on migration (rebase), and on the holder crashing or
+	// draining. Zero disables leases entirely.
+	LeaseTicks int64
+	// ReplicateReadFrac is the minimum read fraction (read heat / total
+	// heat) a hot subtree needs before leases are granted — the
+	// migrate-vs-replicate threshold. Subtrees below it stay on the
+	// migration path. Only meaningful when LeaseTicks > 0.
+	ReplicateReadFrac float64
 }
 
 // DefaultPolicy returns the policy used by the replication experiment
@@ -84,6 +97,12 @@ func (p Policy) Validate() error {
 	if p.MaxSyncsPerRank < 1 {
 		return fmt.Errorf("replica: MaxSyncsPerRank %d < 1", p.MaxSyncsPerRank)
 	}
+	if p.LeaseTicks < 0 {
+		return fmt.Errorf("replica: LeaseTicks %d < 0", p.LeaseTicks)
+	}
+	if p.LeaseTicks > 0 && (p.ReplicateReadFrac <= 0 || p.ReplicateReadFrac > 1) {
+		return fmt.Errorf("replica: ReplicateReadFrac %v outside (0, 1]", p.ReplicateReadFrac)
+	}
 	return nil
 }
 
@@ -115,12 +134,25 @@ type Standby struct {
 	SyncInodes int
 }
 
+// Lease is one read lease: the holder rank may serve reads for the
+// group's subtree through tick Expires. Exported for the auditor and
+// tests; only the manager mutates leases.
+type Lease struct {
+	Rank namespace.MDSID
+	// Expires is the last tick the lease is valid for; the expiry pump
+	// drops leases with Expires <= tick at the end of that tick.
+	Expires int64
+}
+
 // Group is one subtree replication group. Key and Primary are exported
 // for the auditor and tests; only the manager mutates the group.
 type Group struct {
 	Key      namespace.FragKey
 	Primary  namespace.MDSID
 	Standbys []*Standby
+	// Leases are the live read leases, kept sorted by holder rank.
+	// Every holder is a synced standby of the group.
+	Leases []Lease
 
 	// Journal state: records holds the un-applied tail (at most the
 	// records since the oldest synced standby's Applied — one record in
@@ -171,6 +203,25 @@ func (g *Group) PrefixAt(seq uint64) (ops int64, heat float64, ok bool) {
 	return ops, heat, true
 }
 
+// leaseFor returns the group's lease held by rank r, or nil.
+func (g *Group) leaseFor(r namespace.MDSID) *Lease {
+	for i := range g.Leases {
+		if g.Leases[i].Rank == r {
+			return &g.Leases[i]
+		}
+	}
+	return nil
+}
+
+// insertLease adds a lease keeping Leases sorted by holder rank, so
+// holder enumeration is deterministic regardless of grant order.
+func (g *Group) insertLease(l Lease) {
+	i := sort.Search(len(g.Leases), func(i int) bool { return g.Leases[i].Rank >= l.Rank })
+	g.Leases = append(g.Leases, Lease{})
+	copy(g.Leases[i+1:], g.Leases[i:])
+	g.Leases[i] = l
+}
+
 func (g *Group) hasStandby(r namespace.MDSID) bool {
 	for _, sb := range g.Standbys {
 		if sb.Rank == r {
@@ -205,11 +256,12 @@ func (g *Group) rebase(to namespace.MDSID) {
 type Env struct {
 	// Ranks is the current server count (rank IDs are [0, Ranks)).
 	Ranks int
-	// Alive reports whether a rank is serving (a standby may keep its
-	// state on a draining rank until Reconcile retains it away).
-	Alive func(namespace.MDSID) bool
 	// Eligible reports whether a rank may host a new standby (the
-	// cluster's importable predicate: up and not draining).
+	// cluster's importable predicate: Active only — never a draining or
+	// down rank). Every placement, resync target, and promotion gates on
+	// it; there is deliberately no broader Up()-style liveness callback,
+	// which would span Draining ranks and park replicas on a rank that
+	// is actively leaving.
 	Eligible func(namespace.MDSID) bool
 	// Load is the rank's current load, the re-replicator's placement
 	// signal.
@@ -239,6 +291,14 @@ type Manager struct {
 	resyncsStarted int64
 	resyncsDone    int64
 	records        int64
+
+	leasesGranted int64
+	leasesRevoked int64
+	leasesExpired int64
+	// leaseVersion bumps on every change to lease MEMBERSHIP (not mere
+	// expiry refreshes) so the cluster can cheaply mirror the holder set
+	// into its routing table.
+	leaseVersion uint64
 }
 
 // NewManager builds a manager; the policy must validate.
@@ -339,7 +399,11 @@ func (m *Manager) Reconcile(entries []namespace.Entry, retain func(namespace.MDS
 			continue
 		}
 		if g.Primary != e.Auth {
+			// Migration, drain export, or cold takeover: the subtree's
+			// authority moved, so every read lease granted under the old
+			// primary is invalid.
 			g.rebase(e.Auth)
+			m.clearLeases(g)
 		}
 		for i := 0; i < len(g.Standbys); {
 			if !retain(g.Standbys[i].Rank) {
@@ -348,6 +412,7 @@ func (m *Manager) Reconcile(entries []namespace.Entry, retain func(namespace.MDS
 			}
 			i++
 		}
+		m.pruneLeases(g)
 	}
 	if len(m.groups) != len(m.order) {
 		keep := make(map[namespace.FragKey]bool, len(m.order))
@@ -376,6 +441,7 @@ func (m *Manager) DropRank(r namespace.MDSID) {
 			}
 			i++
 		}
+		m.pruneLeases(g)
 	}
 }
 
@@ -427,6 +493,9 @@ func (m *Manager) Promote(key namespace.FragKey, dead namespace.MDSID,
 			other.Applied, other.Ops, other.Heat = g.appended, sb.Ops, sb.Heat
 		}
 	}
+	// Crash invalidation: leases granted under the dead primary die with
+	// it, including any held by the standby being promoted.
+	m.clearLeases(g)
 	m.promotions++
 	return to, heat, lag, true
 }
@@ -503,6 +572,137 @@ func (m *Manager) advanceSyncs(env Env) {
 		}
 	}
 }
+
+// clearLeases drops every lease on the group (write, migration, or
+// crash invalidation), counting them as revoked.
+func (m *Manager) clearLeases(g *Group) int {
+	n := len(g.Leases)
+	if n == 0 {
+		return 0
+	}
+	g.Leases = g.Leases[:0]
+	m.leasesRevoked += int64(n)
+	m.leaseVersion++
+	return n
+}
+
+// pruneLeases drops leases whose holder is no longer a synced standby
+// of the group (the rank crashed, started draining, or its replica was
+// dropped and is re-syncing from scratch).
+func (m *Manager) pruneLeases(g *Group) {
+	for i := 0; i < len(g.Leases); {
+		held := false
+		for _, sb := range g.Standbys {
+			if sb.Rank == g.Leases[i].Rank && !sb.Syncing {
+				held = true
+				break
+			}
+		}
+		if !held {
+			g.Leases = append(g.Leases[:i], g.Leases[i+1:]...)
+			m.leasesRevoked++
+			m.leaseVersion++
+			continue
+		}
+		i++
+	}
+}
+
+// GrantLeases grants (or refreshes) read leases on every synced standby
+// of the group through tick expires, and returns the newly granted
+// holder ranks in rank order (refreshes are silent). A missing group or
+// one with no synced standby is a no-op.
+func (m *Manager) GrantLeases(key namespace.FragKey, expires int64) []namespace.MDSID {
+	g := m.groups[key]
+	if g == nil {
+		return nil
+	}
+	var granted []namespace.MDSID
+	for _, sb := range g.Standbys {
+		if sb.Syncing {
+			continue
+		}
+		if l := g.leaseFor(sb.Rank); l != nil {
+			if expires > l.Expires {
+				l.Expires = expires
+			}
+			continue
+		}
+		g.insertLease(Lease{Rank: sb.Rank, Expires: expires})
+		granted = append(granted, sb.Rank)
+		m.leasesGranted++
+		m.leaseVersion++
+	}
+	sort.Slice(granted, func(i, j int) bool { return granted[i] < granted[j] })
+	return granted
+}
+
+// RevokeLeases drops every lease on the subtree (write invalidation)
+// and returns how many were dropped.
+func (m *Manager) RevokeLeases(key namespace.FragKey) int {
+	g := m.groups[key]
+	if g == nil {
+		return 0
+	}
+	return m.clearLeases(g)
+}
+
+// ExpireLeases drops every lease whose term has ended (Expires <= tick)
+// and returns how many expired.
+func (m *Manager) ExpireLeases(tick int64) int {
+	n := 0
+	for _, k := range m.order {
+		g := m.groups[k]
+		for i := 0; i < len(g.Leases); {
+			if g.Leases[i].Expires <= tick {
+				g.Leases = append(g.Leases[:i], g.Leases[i+1:]...)
+				m.leasesExpired++
+				m.leaseVersion++
+				n++
+				continue
+			}
+			i++
+		}
+	}
+	return n
+}
+
+// LeaseHolders returns the ranks holding live leases on the subtree, in
+// rank order. Shared storage is not exposed: the result is a copy.
+func (m *Manager) LeaseHolders(key namespace.FragKey) []namespace.MDSID {
+	g := m.groups[key]
+	if g == nil || len(g.Leases) == 0 {
+		return nil
+	}
+	out := make([]namespace.MDSID, len(g.Leases))
+	for i, l := range g.Leases {
+		out[i] = l.Rank
+	}
+	return out
+}
+
+// LiveLeases counts the live leases across every group.
+func (m *Manager) LiveLeases() int {
+	n := 0
+	for _, k := range m.order {
+		n += len(m.groups[k].Leases)
+	}
+	return n
+}
+
+// LeaseVersion bumps on every change to lease membership; the cluster
+// uses it to know when to rebuild its lease routing table.
+func (m *Manager) LeaseVersion() uint64 { return m.leaseVersion }
+
+// LeasesGranted returns how many leases have ever been granted.
+func (m *Manager) LeasesGranted() int64 { return m.leasesGranted }
+
+// LeasesRevoked returns how many leases died early (write, migration,
+// crash, or drain invalidation).
+func (m *Manager) LeasesRevoked() int64 { return m.leasesRevoked }
+
+// LeasesExpired returns how many leases ran out their full term.
+func (m *Manager) LeasesExpired() int64 { return m.leasesExpired }
 
 // rereplicate starts background syncs for groups below R, placing each
 // new standby on the least-loaded eligible rank (ties to the lowest

@@ -32,7 +32,6 @@ type testEnv struct {
 func (te *testEnv) env() Env {
 	return Env{
 		Ranks: te.ranks,
-		Alive: func(id namespace.MDSID) bool { return !te.down[id] },
 		Eligible: func(id namespace.MDSID) bool {
 			return !te.down[id] && !te.noImp[id]
 		},

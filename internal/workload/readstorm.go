@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/namespace"
+	"repro/internal/rng"
+)
+
+// ReadStormConfig shapes a shared-directory read storm: one common
+// directory of pre-existing files, with EVERY client issuing
+// Zipf-distributed pure-metadata reads (getattr) over the same shared
+// population. This is the workload class where migration fundamentally
+// cannot help — the whole storm lands on one subtree, and a subtree
+// can only live on one rank — so it is the showcase for lease-based
+// read replicas, which let up to R-1 standby ranks serve the same
+// subtree concurrently.
+type ReadStormConfig struct {
+	// Files is the shared-directory population.
+	Files int
+	// OpsPerClient is the number of reads each client performs.
+	OpsPerClient int
+	// Exponent is the Zipf exponent over the shared files.
+	Exponent float64
+	// WriteEvery mixes one create into the shared directory every this
+	// many reads per client (0 = pure reads). Creates are writes, so
+	// they invalidate any read leases on the directory — the knob
+	// exists to exercise the write-revoke path under load.
+	WriteEvery int
+}
+
+func (c *ReadStormConfig) defaults() {
+	if c.Files == 0 {
+		c.Files = 2000
+	}
+	if c.OpsPerClient == 0 {
+		c.OpsPerClient = 12000
+	}
+	if c.Exponent == 0 {
+		c.Exponent = 0.98
+	}
+}
+
+// ReadStorm is the shared-directory read-storm workload generator.
+type ReadStorm struct{ cfg ReadStormConfig }
+
+// NewReadStorm creates a shared-directory read-storm generator.
+func NewReadStorm(cfg ReadStormConfig) *ReadStorm {
+	cfg.defaults()
+	return &ReadStorm{cfg: cfg}
+}
+
+// Name implements Generator.
+func (g *ReadStorm) Name() string { return "ReadStorm" }
+
+// Setup implements Generator: one common directory of Files files, with
+// every client streaming Zipf-skewed getattrs over it.
+func (g *ReadStorm) Setup(tree *namespace.Tree, clients int, src *rng.Source) ([]ClientSpec, error) {
+	dir, err := tree.MkdirAll("/readstorm/dir")
+	if err != nil {
+		return nil, err
+	}
+	files := make([]*namespace.Inode, g.cfg.Files)
+	for f := 0; f < g.cfg.Files; f++ {
+		in, err := tree.Create(dir, fmt.Sprintf("file%06d", f), 4096)
+		if err != nil {
+			return nil, err
+		}
+		files[f] = in
+	}
+	streams := make([]Stream, clients)
+	for c := 0; c < clients; c++ {
+		streams[c] = newZipfStats(dir, files, g.cfg.OpsPerClient, g.cfg.Exponent,
+			g.cfg.WriteEvery, c, src.Fork(uint64(c)+10))
+	}
+	return jitterSpecs(streams, 0, 0, src.Fork(1)), nil
+}
+
+// newZipfStats is the pure-metadata sibling of newZipfReads: Zipf-
+// distributed getattrs with no data-path bytes. With writeEvery > 0,
+// every writeEvery-th op is instead a create into the shared directory
+// (a lease-invalidating write).
+func newZipfStats(dir *namespace.Inode, files []*namespace.Inode, ops int, exponent float64,
+	writeEvery, client int, src *rng.Source) Stream {
+	perm := src.Perm(len(files))
+	zipf := rng.NewZipf(src, exponent, len(files))
+	done := 0
+	writes := 0
+	buf := make([]Op, 1)
+	return &seqStream{fill: func() []Op {
+		if done >= ops {
+			return nil
+		}
+		done++
+		if writeEvery > 0 && done%writeEvery == 0 {
+			writes++
+			buf[0] = Op{
+				Kind:   OpCreate,
+				Parent: dir,
+				Name:   fmt.Sprintf("new%04d_%06d", client, writes),
+				Size:   4096,
+			}
+			return buf
+		}
+		buf[0] = Op{Kind: OpGetattr, Target: files[perm[zipf.Next()]]}
+		return buf
+	}}
+}

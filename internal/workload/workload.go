@@ -52,6 +52,13 @@ func (k OpKind) String() string {
 	}
 }
 
+// IsWrite reports whether the kind mutates the namespace. Creates are
+// the only writes in the op vocabulary; lookup/getattr/open/readdir all
+// read metadata. The lease layer uses this split: reads may be served
+// by a lease holder, writes always go to the primary and invalidate any
+// outstanding read leases on the subtree.
+func (k OpKind) IsWrite() bool { return k == OpCreate }
+
 // Op is one file system operation issued by a client.
 type Op struct {
 	Kind OpKind
