@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench gobench audit fuzz elastic replication batched readstorm
+.PHONY: all build test vet race check bench gobench audit fuzz elastic replication batched readstorm noisy
 
 all: check
 
@@ -26,9 +26,9 @@ check: build vet race
 # ns/tick and ops/sec ratios are informational (host-dependent), but the
 # run fails if any case's allocs/tick regresses by more than 10%.
 # Regenerate the baseline after an intentional change with
-# `go run ./cmd/lunule-bench -tickbench -tickbench-out BENCH_pr9.json`.
+# `go run ./cmd/lunule-bench -tickbench -tickbench-out BENCH_pr10.json`.
 bench:
-	$(GO) run ./cmd/lunule-bench -tickbench -tickbench-baseline BENCH_pr9.json
+	$(GO) run ./cmd/lunule-bench -tickbench -tickbench-baseline BENCH_pr10.json
 
 # elastic runs the audited autoscaler suite: the diurnal-wave experiment
 # (elastic vs static fleets) plus an audited scale-up/drain-down smoke of
@@ -59,6 +59,15 @@ batched:
 readstorm:
 	$(GO) run ./cmd/lunule-bench -exp readstorm -audit
 	$(GO) run -race ./cmd/lunule-sim -workload readstorm -replication 3 -lease-ticks 40 -workers 4 -mds 5 -clients 40 -scale 0.5 -audit -audit-every-tick -maxticks 3000 >/dev/null
+
+# noisy runs the audited multi-tenant QoS suite: the noisy-neighbor
+# isolation experiment (per-tenant token buckets vs unprotected
+# balancing, reduced scale so the audited run stays fast) plus an
+# audited skewed-tenant CLI smoke on a multi-worker pool under the race
+# detector — both must exit clean.
+noisy:
+	$(GO) run ./cmd/lunule-bench -exp noisy -audit -scale 0.25
+	$(GO) run -race ./cmd/lunule-sim -tenants 4 -tenant-rate 600 -tenant-burst 1200 -workers 4 -mds 4 -clients 24 -audit -audit-every-tick -maxticks 3000 >/dev/null
 
 # gobench runs the in-package Go micro-benchmarks.
 gobench:

@@ -13,6 +13,7 @@ import (
 	"repro/internal/elastic"
 	"repro/internal/experiment"
 	"repro/internal/replica"
+	"repro/internal/tenant"
 	"repro/internal/workload"
 )
 
@@ -65,6 +66,31 @@ func tickWorkload(kind string) (workload.Generator, error) {
 		return workload.NewMD(workload.MDConfig{
 			CreatesPerClient: 1 << 30, DirsPerClient: 4, StatEvery: 64,
 		}), nil
+	case "tenant":
+		// Skewed tenant mix under contended token buckets: prices the
+		// serial bucket-admission phase, the per-tenant lane accounting,
+		// and the per-tenant heat bookkeeping at steady state.
+		return workload.NewTenants(workload.TenantsConfig{Tenants: 4, Skew: 1.0},
+			func(t, clients, off int) workload.Generator {
+				dir := fmt.Sprintf("/tenant%02d", t)
+				switch t % 3 {
+				case 0:
+					return workload.NewZipf(workload.ZipfConfig{
+						Dir: dir + "/zipf", ClientOffset: off,
+						FilesPerClient: 500, OpsPerClient: 1 << 30,
+					})
+				case 1:
+					return workload.NewMD(workload.MDConfig{
+						Dir: dir + "/md", ClientOffset: off,
+						CreatesPerClient: 1 << 30,
+					})
+				default:
+					return workload.NewReadStorm(workload.ReadStormConfig{
+						Dir: dir + "/storm", ClientOffset: off,
+						WriteEvery: 50, OpsPerClient: 1 << 30,
+					})
+				}
+			}), nil
 	}
 	return nil, fmt.Errorf("unknown tickbench workload %q", kind)
 }
@@ -93,6 +119,15 @@ func runTickCase(kind string, mds, clients, workers, batch int, warmup, ticks in
 	if kind == "replication" {
 		rep = replica.MustManager(replica.DefaultPolicy())
 	}
+	var tn *tenant.Manager
+	if kind == "tenant" {
+		// Contended flat buckets: the big tenants throttle every tick,
+		// so the cell prices the admission path actually taken, not the
+		// uncontended fast path.
+		pol := tenant.DefaultPolicy()
+		pol.Rate, pol.Burst = 1500, 3000
+		tn = tenant.MustManager(pol)
+	}
 	if kind == "readstorm" {
 		pol := replica.DefaultPolicy()
 		pol.R = 3
@@ -111,6 +146,7 @@ func runTickCase(kind string, mds, clients, workers, batch int, warmup, ticks in
 		Elastic:     controller,
 		Replication: rep,
 		Batching:    batching,
+		Tenancy:     tn,
 	})
 	if err != nil {
 		return tickCase{}, err
@@ -175,7 +211,7 @@ func runTickBench(stdout io.Writer, ticks int64, workersAxis, batchAxis []int, o
 			tc.Name, tc.NsPerTick, tc.OpsPerSec, tc.AllocsPerTick)
 		return nil
 	}
-	for _, kind := range []string{"zipf", "shareddir", "mdtest", "readstorm", "elastic", "replication"} {
+	for _, kind := range []string{"zipf", "shareddir", "mdtest", "readstorm", "elastic", "replication", "tenant"} {
 		for _, mds := range []int{4, 8, 16} {
 			if err := emit(kind, mds, 64, 1, 0); err != nil {
 				return err

@@ -30,6 +30,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/replica"
 	"repro/internal/rng"
+	"repro/internal/tenant"
 	"repro/internal/workload"
 )
 
@@ -76,6 +77,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		leaseTicks     = fs.Int64("lease-ticks", 0, "with -replication >= 2, grant read leases on hot read-dominated subtrees' synced standbys for this many ticks (0 = off); holders serve reads, writes invalidate")
 		leaseReadFrac  = fs.Float64("replicate-read-frac", 0.75, "with -lease-ticks, minimum read fraction of a subtree's heat before it is replicated instead of migrated")
 
+		tenants     = fs.Int("tenants", 0, "partition clients into this many tenants (each runs its own generator in its own subtree, overriding -workload) with per-tenant token-bucket admission (0 = off)")
+		tenantRate  = fs.Float64("tenant-rate", 4000, "with -tenants, per-tenant bucket refill in ops per tick")
+		tenantBurst = fs.Float64("tenant-burst", 8000, "with -tenants, per-tenant bucket capacity in ops")
+		tenantSkew  = fs.Float64("tenant-skew", 1.0, "with -tenants, Zipf exponent of the tenant-size distribution (0 = equal shares)")
+
 		elasticOn   = fs.Bool("elastic", false, "enable the MDS autoscaler: grow under saturation, gracefully drain ranks when idle (-mds is the starting size)")
 		elasticMin  = fs.Int("elastic-min", 0, "with -elastic, rank floor (default: the starting -mds count)")
 		elasticMax  = fs.Int("elastic-max", 0, "with -elastic, rank ceiling (default: 2x the floor)")
@@ -117,6 +123,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		name = "Trace(" + *traceFile + ")"
 	} else {
 		gen = experiment.MakeWorkload(name, *scale)
+	}
+	var tenancy *tenant.Manager
+	if *tenants > 0 {
+		if *traceFile != "" {
+			return fail(fmt.Errorf("-tenants cannot be combined with -tracefile"))
+		}
+		pol := tenant.DefaultPolicy()
+		pol.Rate = *tenantRate
+		pol.Burst = *tenantBurst
+		var err error
+		tenancy, err = tenant.NewManager(pol)
+		if err != nil {
+			return fail(err)
+		}
+		gen = workload.DefaultTenants(*tenants, *tenantSkew)
+		name = gen.Name()
+	} else if *tenantRate != 4000 || *tenantBurst != 8000 || *tenantSkew != 1.0 {
+		return fail(fmt.Errorf("-tenant-rate/-tenant-burst/-tenant-skew need -tenants"))
 	}
 	faults, err := buildFaults(*crashes, *recovers, *mtbf, *mttr, *mdsN, *ticks, *seed)
 	if err != nil {
@@ -262,6 +286,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Elastic:       controller,
 		Replication:   rep,
 		Batching:      batching,
+		Tenancy:       tenancy,
 	})
 	if err != nil {
 		return fail(err)
@@ -329,6 +354,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		tbl.Add("flush latency p50 / p99 (ticks)", fmt.Sprintf("%.0f / %.0f", rec.FlushAgeQuantile(0.5), rec.FlushAgeQuantile(0.99)))
 		if rq := rec.BatchRequeues(); rq > 0 {
 			tbl.Add("batches re-queued by crashes", fmt.Sprintf("%d", rq))
+		}
+	}
+	if tn := c.Tenancy(); tn != nil {
+		tbl.Add("tenant admission", fmt.Sprintf("%d tenants, rate=%.0f burst=%.0f ops", tn.N(), *tenantRate, *tenantBurst))
+		for t := 0; t < tn.N(); t++ {
+			tbl.Add(fmt.Sprintf("tenant %d (%d clients)", t, tn.Clients(t)),
+				fmt.Sprintf("jct p50 %.0f, lat mean/p99 %.2f/%.0f, admitted %d, throttled %d, stalled %d",
+					rec.TenantJCTQuantile(t, 0.5), rec.TenantMeanLatency(t),
+					rec.TenantLatencyQuantile(t, 0.99),
+					tn.Admitted(t), tn.Throttled(t), tn.Stalled(t)))
 		}
 	}
 	if rep != nil {

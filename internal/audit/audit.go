@@ -20,6 +20,7 @@ import (
 	"repro/internal/mds"
 	"repro/internal/namespace"
 	"repro/internal/replica"
+	"repro/internal/tenant"
 )
 
 // Violation is one invariant failure found by an audit pass.
@@ -141,6 +142,15 @@ type State struct {
 	// write-invalidated during this tick; the lease family checks each
 	// holds zero live leases by tick end.
 	LeaseWriteRevoked []namespace.FragKey
+	// Tenancy is the per-tenant admission manager; nil skips the tenant
+	// invariant family.
+	Tenancy *tenant.Manager
+	// TenantAdmitted is the cluster's count of ops bucket-admitted this
+	// tick, summed across tenants as the engine charged them.
+	TenantAdmitted int64
+	// TenantServed is the per-tenant count of ops actually served this
+	// tick (indexed by tenant).
+	TenantServed []int64
 }
 
 // Check runs every invariant over the state and returns how many new
@@ -161,7 +171,48 @@ func (a *Auditor) Check(s State) int {
 	a.checkLifecycle(s)
 	a.checkReplicas(s)
 	a.checkLeases(s)
+	a.checkTenants(s)
 	return len(a.violations) - before
+}
+
+// checkTenants validates the tenant-QoS invariants at tick end. Bucket
+// ("tenant/bucket"): every token bucket holds between zero and its
+// burst — refill clamps at the burst and Take never overdraws.
+// Conservation ("tenant/conservation"): the per-tenant admission
+// counters sum to the cluster's total bucket-admitted ops for the tick
+// — no op is admitted without being charged to exactly one tenant.
+// Served ("tenant/served"): no tenant is served more ops in a tick than
+// its bucket admitted — serving past the bucket would mean the rank
+// pools bypassed admission control.
+func (a *Auditor) checkTenants(s State) {
+	tn := s.Tenancy
+	if tn == nil {
+		return
+	}
+	var admitted int64
+	for t := 0; t < tn.N(); t++ {
+		tok, burst := tn.Tokens(t), tn.BurstOf(t)
+		if tok < 0 || tok > burst+1e-9 {
+			a.failf(s.Tick, "tenant/bucket",
+				"tenant %d: tokens %g outside [0, burst %g]", t, tok, burst)
+		}
+		adm := tn.AdmittedTick(t)
+		if adm < 0 {
+			a.failf(s.Tick, "tenant/conservation",
+				"tenant %d: negative admitted count %d", t, adm)
+		}
+		admitted += adm
+		if t < len(s.TenantServed) && s.TenantServed[t] > adm {
+			a.failf(s.Tick, "tenant/served",
+				"tenant %d: served %d ops this tick, bucket admitted only %d",
+				t, s.TenantServed[t], adm)
+		}
+	}
+	if admitted != s.TenantAdmitted {
+		a.failf(s.Tick, "tenant/conservation",
+			"per-tenant admitted ops sum %d != cluster admitted total %d",
+			admitted, s.TenantAdmitted)
+	}
 }
 
 // checkLeases validates the read-lease invariants at tick end. Term

@@ -8,6 +8,7 @@ import (
 	"repro/internal/mds"
 	"repro/internal/namespace"
 	"repro/internal/replica"
+	"repro/internal/tenant"
 )
 
 // fixture builds a small namespace with a partition, migrator, and n
@@ -255,6 +256,77 @@ func TestAuditorLeaseHolderDrainingViolation(t *testing.T) {
 	a := New(Options{})
 	if a.Check(state) == 0 || checksNamed(a, "lease/holder") == 0 {
 		t.Fatalf("lease on draining rank not flagged: %v", a.Violations())
+	}
+}
+
+// tenantFixture builds a clean 2-tenant state mid-tick: tenant 0 was
+// bucket-admitted 6 ops and served 6, tenant 1 admitted 3 and served 2.
+func tenantFixture(t *testing.T) (State, *tenant.Manager) {
+	t.Helper()
+	tree, part, mig, servers := fixture(t, 2)
+	pol := tenant.DefaultPolicy()
+	pol.Rate, pol.Burst = 10, 20
+	tn := tenant.MustManager(pol)
+	if err := tn.Bind([]int{4, 4}); err != nil {
+		t.Fatal(err)
+	}
+	tn.BeginTick()
+	tn.NoteAdmitted(0, tn.Take(0, 6))
+	tn.NoteAdmitted(1, tn.Take(1, 3))
+	state := State{
+		Tick: 9, Tree: tree, Partition: part,
+		Resolver: namespace.NewResolver(part),
+		Migrator: mig, Servers: servers,
+		Tenancy:        tn,
+		TenantAdmitted: 9,
+		TenantServed:   []int64{6, 2},
+	}
+	return state, tn
+}
+
+func TestAuditorTenantHealthy(t *testing.T) {
+	state, tn := tenantFixture(t)
+	a := New(Options{})
+	if n := a.Check(state); n != 0 {
+		t.Fatalf("healthy tenant state produced %d violations: %v", n, a.Violations())
+	}
+	// Buckets stayed in range after the takes.
+	for i := 0; i < tn.N(); i++ {
+		if tok := tn.Tokens(i); tok < 0 || tok > tn.BurstOf(i) {
+			t.Fatalf("tenant %d tokens %g outside bucket", i, tok)
+		}
+	}
+}
+
+func TestAuditorTenantConservationViolation(t *testing.T) {
+	state, _ := tenantFixture(t)
+	// The cluster claims one more admitted op than the tenants were
+	// charged for — an op slipped past the buckets.
+	state.TenantAdmitted = 10
+	a := New(Options{})
+	if a.Check(state) == 0 || checksNamed(a, "tenant/conservation") == 0 {
+		t.Fatalf("admission mismatch not flagged: %v", a.Violations())
+	}
+}
+
+func TestAuditorTenantServedViolation(t *testing.T) {
+	state, _ := tenantFixture(t)
+	// Tenant 1's bucket admitted 3 ops this tick but the ranks served 5:
+	// the serve phase bypassed admission control.
+	state.TenantServed = []int64{6, 5}
+	a := New(Options{})
+	if a.Check(state) == 0 || checksNamed(a, "tenant/served") == 0 {
+		t.Fatalf("over-serving not flagged: %v", a.Violations())
+	}
+}
+
+func TestAuditorTenantNilSkipsFamily(t *testing.T) {
+	state, _ := tenantFixture(t)
+	state.Tenancy = nil
+	state.TenantAdmitted = 999 // would violate conservation if checked
+	a := New(Options{})
+	if n := a.Check(state); n != 0 {
+		t.Fatalf("nil tenancy still audited: %v", a.Violations())
 	}
 }
 

@@ -64,6 +64,20 @@ type LeaseView interface {
 	ReadLeased(key namespace.FragKey) bool
 }
 
+// TenantView is the optional fairness extension of View: a view that
+// also knows which subtrees are hot because of a tenant the admission
+// buckets are already throttling. Migrating such a subtree would
+// spread a noisy neighbour's over-quota load across more ranks — and
+// drag everything co-located with it — instead of containing it where
+// admission control caps it, so candidate enumeration skips these
+// entries. Views without tenant state simply don't implement this, and
+// enumeration is unchanged.
+type TenantView interface {
+	// TenantThrottled reports whether the subtree entry's heat is
+	// dominated by a tenant whose token bucket throttled last epoch.
+	TenantThrottled(key namespace.FragKey) bool
+}
+
 // Balancer decides, once per epoch, whether and what to migrate.
 type Balancer interface {
 	// Name identifies the policy in experiment output.

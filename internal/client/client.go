@@ -15,6 +15,10 @@ import (
 // Client is one workload-driving client.
 type Client struct {
 	ID int
+	// Tenant is the owning tenant's index from the workload spec (0 in
+	// single-tenant runs). The engine's admission phase charges the
+	// client's ops to this tenant's token bucket when QoS is enabled.
+	Tenant int
 
 	stream    workload.Stream
 	startTick int64
@@ -138,6 +142,7 @@ func New(id int, spec workload.ClientSpec, baseRate float64) *Client {
 	}
 	return &Client{
 		ID:          id,
+		Tenant:      spec.Tenant,
 		stream:      spec.Stream,
 		startTick:   spec.StartTick,
 		rate:        rate,

@@ -25,6 +25,7 @@ import (
 	"repro/internal/replica"
 	"repro/internal/rng"
 	"repro/internal/sim"
+	"repro/internal/tenant"
 	"repro/internal/workload"
 )
 
@@ -131,6 +132,16 @@ type Config struct {
 	// also runs the sync path (verbatim — the differential tests prove
 	// byte-identity).
 	Batching *BatchingConfig
+	// Tenancy optionally attaches a multi-tenant QoS manager: every
+	// client belongs to a tenant (tagged by the workload), admission
+	// charges each run or batch to its tenant's token bucket before the
+	// rank pool, fairness-aware balancing declines to migrate subtrees
+	// hot solely from an over-quota tenant, and per-tenant SLO debt
+	// feeds the autoscaler. nil — the default — keeps the single-tenant
+	// path at zero cost, and an attached manager whose buckets never
+	// run dry produces a byte-identical run (the differential tests
+	// prove both).
+	Tenancy *tenant.Manager
 }
 
 // BatchingConfig shapes the write-back mode.
@@ -265,6 +276,16 @@ type Cluster struct {
 	repEnv     replica.Env
 	promotions int64
 
+	// Tenant QoS state (tenant.go in internal/tenant): the manager
+	// (nil = single-tenant, zero tick-path cost), the engine-side
+	// independent count of ops admitted this tick across all tenants
+	// (the conservation audit reconciles it against the manager's own
+	// books), and the per-tick served-per-tenant scratch the serve
+	// lanes merge into (the served <= admitted audit reads it).
+	tn             *tenant.Manager
+	tnAdmittedTick int64
+	tnServedTick   []int64
+
 	// Lease state (lease.go): the routing table the engine's plan phase
 	// consults (nil = leases off), the manager lease-version it was last
 	// rebuilt at, the cumulative lease-served op counter, and the keys
@@ -358,6 +379,21 @@ func New(cfg Config) (*Cluster, error) {
 	for i, sp := range specs {
 		cl.clients = append(cl.clients, client.New(i, sp, cfg.ClientRate))
 	}
+	if cfg.Tenancy != nil {
+		counts, err := tenantCounts(specs)
+		if err != nil {
+			return nil, err
+		}
+		if err := cfg.Tenancy.Bind(counts); err != nil {
+			return nil, fmt.Errorf("cluster: tenancy: %w", err)
+		}
+		cl.tn = cfg.Tenancy
+		cl.tnServedTick = make([]int64, cfg.Tenancy.N())
+		cl.rec.SetTenants(cfg.Tenancy.N())
+		for _, s := range cl.servers {
+			s.EnableTenants(cfg.Tenancy.N())
+		}
+	}
 	cl.engine = newEngine(cl, src)
 	if cfg.Replication != nil {
 		cl.rep = cfg.Replication
@@ -370,6 +406,26 @@ func New(cfg Config) (*Cluster, error) {
 		cl.ApplyFaults(*cfg.Faults)
 	}
 	return cl, nil
+}
+
+// tenantCounts derives the per-tenant client populations from the
+// workload's spec tags: the highest tenant index sizes the slice, and
+// Manager.Bind rejects any tenant left without clients.
+func tenantCounts(specs []workload.ClientSpec) ([]int, error) {
+	max := 0
+	for _, sp := range specs {
+		if sp.Tenant < 0 {
+			return nil, fmt.Errorf("cluster: client spec tagged with negative tenant %d", sp.Tenant)
+		}
+		if sp.Tenant > max {
+			max = sp.Tenant
+		}
+	}
+	counts := make([]int, max+1)
+	for _, sp := range specs {
+		counts[sp.Tenant]++
+	}
+	return counts, nil
 }
 
 // Tree returns the namespace.
@@ -810,6 +866,9 @@ func (c *Cluster) reassignOrphans(dead namespace.MDSID, crashedAt int64) {
 func (c *Cluster) AddMDS() *mds.Server {
 	id := namespace.MDSID(len(c.servers))
 	s := mds.NewServer(id, c.cfg.Capacity, c.cfg.HistoryWindows, c.cfg.HeatDecay)
+	if c.tn != nil {
+		s.EnableTenants(c.tn.N())
+	}
 	c.servers = append(c.servers, s)
 	c.ledger.Grow(len(c.servers))
 	c.rec.GrowMDS(len(c.servers))
@@ -1006,14 +1065,21 @@ func (c *Cluster) elasticStep(tick, epoch int64, ifv float64) {
 			active++
 		}
 	}
-	d := c.elastic.Observe(elastic.Snapshot{
+	snap := elastic.Snapshot{
 		Epoch:         epoch,
 		ActiveRanks:   active,
 		DrainingRanks: drainingN,
 		Load:          load,
 		Capacity:      float64(c.cfg.Capacity),
 		IF:            ifv,
-	})
+	}
+	if c.tn != nil {
+		// Pool-stall debt only (bucket throttles are intended and never
+		// count), so an aggressor being throttled cannot trigger
+		// scale-up — only victims starved of capacity can.
+		snap.MaxTenantDebt = c.tn.MaxDebt()
+	}
+	d := c.elastic.Observe(snap)
 	switch d.Action {
 	case elastic.ScaleUp:
 		for i := 0; i < d.Delta; i++ {
@@ -1085,6 +1151,15 @@ func (c *Cluster) Step() {
 	for _, s := range c.servers {
 		s.BeginTick()
 	}
+	if c.tn != nil {
+		// Refill the token buckets and reset the tick's admission books
+		// before any admission runs (serial, like server BeginTick).
+		c.tn.BeginTick()
+		c.tnAdmittedTick = 0
+		for i := range c.tnServedTick {
+			c.tnServedTick[i] = 0
+		}
+	}
 	if c.cfg.DataPath {
 		c.osds.BeginTick()
 	}
@@ -1104,6 +1179,19 @@ func (c *Cluster) Step() {
 	}
 
 	c.engine.serveTick(tick, epoch)
+
+	if c.tn != nil && c.bus.Enabled(obs.EvTenantThrottle) {
+		// Serial post-serve sweep: one event per tenant the buckets
+		// throttled this tick. Uncontended buckets emit nothing, so an
+		// idle QoS attachment leaves the trace byte-identical.
+		for t := 0; t < c.tn.N(); t++ {
+			if n := c.tn.ThrottledTick(t); n > 0 {
+				f := obs.AcquireF()
+				f["tenant"], f["n"], f["tokens"] = t, n, c.tn.Tokens(t)
+				c.bus.EmitPooled(obs.Event{Tick: tick, Type: obs.EvTenantThrottle, Fields: f})
+			}
+		}
+	}
 
 	if cap(c.perMDSBuf) < len(c.servers) {
 		c.perMDSBuf = make([]int, len(c.servers))
@@ -1140,6 +1228,9 @@ func (c *Cluster) Step() {
 			RacedCreates:      c.racedCreates,
 			Replicas:          c.rep,
 			LeaseWriteRevoked: c.leaseWriteRevoked,
+			Tenancy:           c.tn,
+			TenantAdmitted:    c.tnAdmittedTick,
+			TenantServed:      c.tnServedTick,
 		})
 	}
 	c.tick++
@@ -1160,6 +1251,11 @@ func (c *Cluster) endEpoch(tick, epoch int64) {
 		if s.Up() {
 			liveLoads = append(liveLoads, load)
 		}
+	}
+	if c.tn != nil {
+		// Close the tenant epoch before the autoscaler observes it, so
+		// this epoch's SLO debt feeds this epoch's scaling decision.
+		c.tn.EndEpoch()
 	}
 	c.liveLoads = liveLoads[:0]
 	c.rankEpochs += int64(len(liveLoads))
@@ -1255,3 +1351,30 @@ func (v *view) ReadLeased(key namespace.FragKey) bool {
 	hot := leaseHotFrac * float64(c.cfg.Capacity) * float64(c.cfg.EpochTicks)
 	return c.leaseQualifies(e, hot, c.rep.Policy().ReplicateReadFrac)
 }
+
+// TenantThrottled implements balancer.TenantView: a subtree whose heat
+// comes dominantly from a tenant the token buckets throttled last
+// epoch is hot because that tenant is over quota — migrating it would
+// spread a noisy neighbour across more ranks instead of containing it,
+// so the balancer leaves it where admission already throttles it.
+// Always false when tenancy is off (or no tenant dominates), so the
+// balancer behaves exactly as before.
+func (v *view) TenantThrottled(key namespace.FragKey) bool {
+	c := v.c
+	if c.tn == nil {
+		return false
+	}
+	e, ok := c.part.EntryAt(key)
+	if !ok || int(e.Auth) >= len(c.servers) {
+		return false
+	}
+	t := c.servers[e.Auth].DominantTenant(key)
+	if t < 0 {
+		return false
+	}
+	return c.tn.ThrottledLastEpoch(t)
+}
+
+// Tenancy returns the attached tenant QoS manager (nil when the run is
+// single-tenant).
+func (c *Cluster) Tenancy() *tenant.Manager { return c.tn }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/namespace"
 	"repro/internal/obs"
 	"repro/internal/rng"
+	"repro/internal/tenant"
 	"repro/internal/workload"
 )
 
@@ -145,8 +146,13 @@ type createKey struct {
 type rankLane struct {
 	rank namespace.MDSID
 
-	lat    metrics.LatencyShard
-	events []obs.Event
+	lat metrics.LatencyShard
+	// tnServed / tlat shard per-tenant served counts and latency
+	// histograms (nil unless the cluster runs tenant QoS); the serial
+	// end of tick merges them in ascending rank order.
+	tnServed []int64
+	tlat     []metrics.LatencyShard
+	events   []obs.Event
 	fwdOut []int32 // per rank: relay charges buffered this round
 	fwdTch []int32 // ranks with nonzero fwdOut, in first-charge order
 	stalls []int64 // per rank: stall notes buffered this round
@@ -287,6 +293,15 @@ func (e *engine) ensure() {
 			e.wb.rankRounds = append(e.wb.rankRounds, 0)
 		}
 	}
+	if tn := e.c.tn; tn != nil {
+		nt := tn.N()
+		for _, lane := range e.lanes {
+			if lane.tnServed == nil {
+				lane.tnServed = make([]int64, nt)
+				lane.tlat = make([]metrics.LatencyShard, nt)
+			}
+		}
+	}
 }
 
 // serveTick runs the serve phase of one tick: gating and credit
@@ -371,10 +386,37 @@ func (e *engine) serveTick(tick, epoch int64) {
 			c.rec.MergeLatencyShard(&lane.lat)
 		}
 	}
+	e.mergeTenantShards()
 	for i, cl := range c.clients {
 		if e.participated[i] && cl.MaybeFinish(tick) {
 			c.doneN++
 			c.rec.AddJCT(tick)
+			if c.tn != nil {
+				c.rec.AddTenantJCT(cl.Tenant, tick)
+			}
+		}
+	}
+}
+
+// mergeTenantShards folds every lane's per-tenant served counts and
+// latency shards into the cluster at the serial end of the tick.
+// Integer adds in ascending (rank, tenant) order — deterministic at
+// any worker count. No-op on single-tenant runs (the lanes never
+// allocate tenant shards).
+func (e *engine) mergeTenantShards() {
+	c := e.c
+	if c.tn == nil {
+		return
+	}
+	for _, lane := range e.lanes {
+		for t := range lane.tlat {
+			if lane.tlat[t].Dirty() {
+				c.rec.MergeTenantLatencyShard(t, &lane.tlat[t])
+			}
+			if n := lane.tnServed[t]; n != 0 {
+				c.tnServedTick[t] += n
+				lane.tnServed[t] = 0
+			}
 		}
 	}
 }
@@ -486,6 +528,7 @@ func (co *cohort) plan(e *engine, tick int64) {
 // no cohort planned anything.
 func (e *engine) admit() bool {
 	planned := false
+	tn := e.c.tn
 	for _, k := range e.cohortOrder {
 		co := e.cohorts[k]
 		for pi := range co.plans {
@@ -504,6 +547,12 @@ func (e *engine) admit() bool {
 					p.cut = j
 					break
 				}
+				if tn != nil {
+					if e.admitTenantRun(tn, p, r, j) {
+						break
+					}
+					continue
+				}
 				if a := e.avail[r.rank]; a < r.n {
 					r.adm = a
 					e.avail[r.rank] = 0
@@ -516,6 +565,49 @@ func (e *engine) admit() bool {
 		}
 	}
 	return planned
+}
+
+// admitTenantRun arbitrates one planned run with tenant QoS on: the
+// run is charged to its owner's token bucket BEFORE the rank pool, so
+// an over-quota tenant is throttled at admission no matter how much
+// rank budget is free. Reports whether the plan was cut at this run
+// (bucket throttle or pool shortfall).
+//
+// With uncontended buckets (grant always == r.n) the arithmetic below
+// reduces exactly to the QoS-off branch — adm == a zeroes the pool on
+// a shortfall, full grants drain it by r.n — which is what keeps an
+// idle QoS attachment byte-identical to no attachment.
+func (e *engine) admitTenantRun(tn *tenant.Manager, p *plan, r *run, j int32) bool {
+	t := e.c.clients[r.client].Tenant
+	grant := int32(tn.Take(t, int(r.n)))
+	adm := grant
+	if a := e.avail[r.rank]; a < adm {
+		// The pool cannot cover the bucket grant: hand the uncovered
+		// tokens back (a pool stall is not a quota spend) and record
+		// the shortfall as SLO debt — the tenant had quota but the
+		// cluster had no capacity.
+		tn.Refund(t, int(adm-a))
+		tn.NoteStalled(t, int(adm-a))
+		adm = a
+	}
+	e.avail[r.rank] -= adm
+	r.adm = adm
+	tn.NoteAdmitted(t, int(adm))
+	e.c.tnAdmittedTick += int64(adm)
+	if grant < r.n {
+		// Bucket throttle: the quota denied the run's tail. The rank
+		// pool is NOT zeroed — other tenants may still draw from it —
+		// and the client takes the ordinary admission-cut stall at the
+		// granted prefix.
+		tn.NoteThrottled(t, int(r.n-grant))
+		p.cut = j
+		return true
+	}
+	if adm < r.n {
+		p.cut = j
+		return true
+	}
+	return false
 }
 
 // scheduleRound buckets every surviving client's r-th planned run into
@@ -660,7 +752,13 @@ func (e *engine) serveRank(rank int, tick, epoch int64) {
 					f["client"], f["reason"] = cl.ID, "served"
 					lane.events = append(lane.events, obs.Event{Tick: tick, Type: obs.EvBackoffExit, Fields: f})
 				}
-				lane.lat.Add(cl.CompleteOp(tick))
+				lat := cl.CompleteOp(tick)
+				lane.lat.Add(lat)
+				if lane.tnServed != nil {
+					lane.tnServed[cl.Tenant]++
+					lane.tlat[cl.Tenant].Add(lat)
+					auth.AddTenantHeat(ents[served].Key, cl.Tenant, 1)
+				}
 				served++
 				e.credit[r.client]--
 				if c.cfg.DataPath && op.DataSize > 0 {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/replica"
+	"repro/internal/tenant"
 	"repro/internal/workload"
 )
 
@@ -152,6 +153,26 @@ var engineScenarios = []struct {
 		pol.LeaseTicks = 30
 		pol.ReplicateReadFrac = 0.6
 		cfg.Replication = replica.MustManager(pol)
+		return nil
+	}},
+	{"tenants", func(cfg *Config) func(*Cluster) {
+		// Skewed multi-tenant mix under contended token buckets with a
+		// mid-run crash: the serial bucket-admission phase, per-tenant
+		// lane accounting, throttle events, and the per-tenant heat and
+		// debt bookkeeping all have to reproduce byte-identically at
+		// every worker count. The policy is tight enough that the big
+		// tenants throttle every epoch.
+		var sched fault.Schedule
+		sched.Crash(50, 1).Recover(120, 1)
+		cfg.MDS = 4
+		cfg.Clients = 16
+		cfg.Seed = 11
+		cfg.RecoveryTicks = 12
+		cfg.Faults = &sched
+		cfg.Workload = workload.DefaultTenants(4, 1.0)
+		pol := tenant.DefaultPolicy()
+		pol.Rate, pol.Burst = 400, 800
+		cfg.Tenancy = tenant.MustManager(pol)
 		return nil
 	}},
 }

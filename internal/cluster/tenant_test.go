@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/obs"
+	"repro/internal/tenant"
+	"repro/internal/workload"
+)
+
+// tenantManager builds a flat-rate manager for tests.
+func tenantManager(rate, burst float64) *tenant.Manager {
+	pol := tenant.DefaultPolicy()
+	pol.Rate, pol.Burst = rate, burst
+	return tenant.MustManager(pol)
+}
+
+// runTenantIdle runs a skewed multi-tenant workload and returns the
+// run's complete external output plus the cluster. With enabled, a QoS
+// manager is attached whose buckets are far larger than any tenant's
+// per-tick demand, so admission never throttles.
+func runTenantIdle(t *testing.T, enabled bool) ([]byte, *Cluster) {
+	t.Helper()
+	var tr bytes.Buffer
+	sink := obs.NewJSONL(&tr)
+	cfg := Config{
+		MDS:      4,
+		Clients:  12,
+		Seed:     11,
+		Workload: workload.DefaultTenants(3, 0.5),
+		Bus:      obs.NewBus(sink),
+	}
+	if enabled {
+		cfg.Tenancy = tenantManager(1e6, 2e6)
+	}
+	c := newTestCluster(t, cfg)
+	c.RunUntilDone(30000)
+	if !c.Done() {
+		t.Fatal("clients must finish")
+	}
+	var out bytes.Buffer
+	if err := c.Metrics().WriteCSV(&out); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Metrics().WriteEpochCSV(&out); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out.Write(tr.Bytes())
+	return out.Bytes(), c
+}
+
+// TestTenantIdleByteIdentical is the QoS-disabled differential: with
+// admission configured on but every bucket uncontended, the run is
+// byte-identical — CSVs and event trace — to the same run with tenancy
+// off. Attaching the subsystem costs nothing and perturbs nothing until
+// a bucket actually runs dry.
+func TestTenantIdleByteIdentical(t *testing.T) {
+	off, _ := runTenantIdle(t, false)
+	on, c := runTenantIdle(t, true)
+	tn := c.Tenancy()
+	for i := 0; i < tn.N(); i++ {
+		if tn.Throttled(i) != 0 {
+			t.Fatalf("uncontended bucket throttled tenant %d (%d ops)", i, tn.Throttled(i))
+		}
+	}
+	diffEngineOutputs(t, "tenant-idle", off, on)
+}
+
+// TestTenantAdmissionThrottles runs a skewed tenant mix under a tight
+// flat policy with a per-tick audit: the big tenants must hit their
+// buckets, every op must still complete, and the tenant invariant
+// family must stay clean throughout.
+func TestTenantAdmissionThrottles(t *testing.T) {
+	aud := audit.New(audit.Options{EveryTick: true})
+	c := newTestCluster(t, Config{
+		MDS:      4,
+		Clients:  16,
+		Seed:     11,
+		Workload: workload.DefaultTenants(4, 1.0),
+		Tenancy:  tenantManager(400, 800),
+		Audit:    aud,
+	})
+	c.RunUntilDone(30000)
+	if !c.Done() {
+		t.Fatal("clients must finish")
+	}
+	tn := c.Tenancy()
+	var throttled, admitted int64
+	for i := 0; i < tn.N(); i++ {
+		throttled += tn.Throttled(i)
+		admitted += tn.Admitted(i)
+	}
+	if throttled == 0 {
+		t.Fatal("tight buckets never throttled")
+	}
+	if admitted == 0 {
+		t.Fatal("no ops were bucket-admitted")
+	}
+	// Per-tenant JCTs were recorded for every tenant.
+	for i := 0; i < tn.N(); i++ {
+		if c.Metrics().TenantJCTCount(i) == 0 {
+			t.Fatalf("tenant %d finished no clients", i)
+		}
+	}
+	for _, v := range aud.Violations() {
+		t.Errorf("audit violation: %s", v)
+	}
+}
+
+// TestTenantAdmissionThrottlesWB is the write-back variant: bucket
+// charging happens at batch admission, serving happens from rank
+// journals, and the same invariants must hold.
+func TestTenantAdmissionThrottlesWB(t *testing.T) {
+	aud := audit.New(audit.Options{EveryTick: true})
+	c := newTestCluster(t, Config{
+		MDS:      4,
+		Clients:  16,
+		Seed:     11,
+		Workload: workload.DefaultTenants(4, 1.0),
+		Tenancy:  tenantManager(400, 800),
+		Batching: &BatchingConfig{BatchSize: 8, FlushEvery: 4},
+		Audit:    aud,
+	})
+	c.RunUntilDone(30000)
+	if !c.Done() {
+		t.Fatal("clients must finish")
+	}
+	tn := c.Tenancy()
+	var throttled int64
+	for i := 0; i < tn.N(); i++ {
+		throttled += tn.Throttled(i)
+	}
+	if throttled == 0 {
+		t.Fatal("tight buckets never throttled in write-back mode")
+	}
+	for _, v := range aud.Violations() {
+		t.Errorf("audit violation: %s", v)
+	}
+}

@@ -188,10 +188,14 @@ func (e *engine) serveTickWB(tick, epoch int64) {
 			c.rec.MergeLatencyShard(&lane.lat)
 		}
 	}
+	e.mergeTenantShards()
 	for i, cl := range c.clients {
 		if e.participated[i] && cl.MaybeFinish(tick) {
 			c.doneN++
 			c.rec.AddJCT(tick)
+			if c.tn != nil {
+				c.rec.AddTenantJCT(cl.Tenant, tick)
+			}
 		}
 	}
 }
@@ -394,6 +398,18 @@ func (e *engine) wbAdmitClient(k int, ci int32, tick int64) {
 	// Admission over the FIFO at group granularity.
 	off := 0
 	round := 0
+	// Tokens this client charged for batches admitted this tick. When a
+	// later batch blocks the client, the serve phase skips those earlier
+	// batches too (a client's batches apply in order), so their tokens
+	// must flow back to the bucket or they leak every tick the pattern
+	// repeats — a contended tenant would pay full rate for zero service.
+	tickAdm := 0
+	refundBlocked := func() {
+		if tn := c.tn; tn != nil && tickAdm > 0 {
+			tn.Refund(cl.Tenant, tickAdm)
+			tn.NoteStalled(cl.Tenant, tickAdm)
+		}
+	}
 	for _, b := range q {
 		op, ok := cl.PeekOp(off, tick)
 		if !ok {
@@ -405,6 +421,7 @@ func (e *engine) wbAdmitClient(k int, ci int32, tick int64) {
 			// stays in its current live journal and the client backs
 			// off, as a sync attempt against the dead rank would.
 			e.wbStallDown(cl, ent.Auth, tick)
+			refundBlocked()
 			break
 		}
 		if ent.Auth != b.Rank {
@@ -416,24 +433,68 @@ func (e *engine) wbAdmitClient(k int, ci int32, tick int64) {
 			auth.AddStalls(1)
 			cl.Retain()
 			e.blocked[ci] = true
+			refundBlocked()
 			break
 		}
-		groups := (b.N + w.batchSize - 1) / w.batchSize
+		// With tenant QoS on, the batch draws from its tenant's token
+		// bucket before the rank pool (the sync engine's admit order).
+		// Uncontended buckets grant everything, so the arithmetic below
+		// collapses to the QoS-off form byte for byte.
+		want := b.N
+		grant := want
+		if tn := c.tn; tn != nil {
+			grant = tn.Take(cl.Tenant, want)
+			if grant <= 0 {
+				// Bucket dry: this batch is retained — the write-back
+				// throttle. With earlier batches already holding quota,
+				// stop admitting and let them serve; only a client with
+				// nothing admitted takes the admission-cut stall.
+				tn.NoteThrottled(cl.Tenant, want)
+				if round > 0 {
+					break
+				}
+				auth.AddStalls(1)
+				cl.Retain()
+				e.blocked[ci] = true
+				break
+			}
+		}
+		groups := (grant + w.batchSize - 1) / w.batchSize
 		g := int(e.avail[b.Rank])
 		if g > groups {
 			g = groups
 		}
 		if g <= 0 {
 			// Budget pool dry: the batch is retained in the journal —
-			// the sync admission-cut stall, at batch granularity.
+			// the sync admission-cut stall, at batch granularity. With
+			// quota in hand this is a pool stall, not a quota spend.
+			if tn := c.tn; tn != nil {
+				tn.Refund(cl.Tenant, grant)
+				tn.NoteStalled(cl.Tenant, grant)
+			}
 			auth.AddStalls(1)
 			cl.Retain()
 			e.blocked[ci] = true
+			refundBlocked()
 			break
 		}
 		adm := g * w.batchSize
-		if adm > b.N {
-			adm = b.N
+		if adm > grant {
+			adm = grant
+		}
+		if tn := c.tn; tn != nil {
+			if adm < grant {
+				// Pool-capped below the bucket grant (adm < grant implies
+				// g < groups): refund the uncovered tokens as SLO debt.
+				tn.Refund(cl.Tenant, grant-adm)
+				tn.NoteStalled(cl.Tenant, grant-adm)
+			}
+			tn.NoteAdmitted(cl.Tenant, adm)
+			c.tnAdmittedTick += int64(adm)
+			tickAdm += adm
+			if grant < want {
+				tn.NoteThrottled(cl.Tenant, want-grant)
+			}
 		}
 		e.avail[b.Rank] -= int32(g)
 		b.Adm = adm
@@ -647,7 +708,12 @@ func (e *engine) wbServeBatch(lane *rankLane, auth *mds.Server, cl *client.Clien
 			f["client"], f["reason"] = cl.ID, "served"
 			lane.events = append(lane.events, obs.Event{Tick: tick, Type: obs.EvBackoffExit, Fields: f})
 		}
-		lane.lat.Add(cl.CompleteOp(tick))
+		lat := cl.CompleteOp(tick)
+		lane.lat.Add(lat)
+		if lane.tnServed != nil {
+			lane.tnServed[cl.Tenant]++
+			lane.tlat[cl.Tenant].Add(lat)
+		}
 		applied++
 		if c.cfg.DataPath && op.DataSize > 0 {
 			cl.AddDebt(op.DataSize)
@@ -662,6 +728,9 @@ func (e *engine) wbServeBatch(lane *rankLane, auth *mds.Server, cl *client.Clien
 	}
 	if served > 0 {
 		auth.AddOps(served)
+		if lane.tnServed != nil {
+			auth.AddTenantHeat(entry.Key, cl.Tenant, served)
+		}
 	}
 	if wrote && c.lt != nil && c.lt.Has(entry.Key) {
 		// The batch mutated a leased subtree: its read leases die at the

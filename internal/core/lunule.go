@@ -183,11 +183,19 @@ func (b *Lunule) housekeep(v balancer.View) {
 	// carve-outs owned by the lease controller; absorbing one back into
 	// its parent would tear down its replication group each epoch.
 	lv, _ := v.(balancer.LeaseView)
+	// Entries hot from an admission-throttled tenant are likewise left
+	// alone: merging or absorbing one would blend its heat into a
+	// larger entry and erase the per-tenant attribution the fairness
+	// skip (balancer.TenantView) keys on.
+	tv, _ := v.(balancer.TenantView)
 	for _, e := range part.Entries() {
 		if e.Key == rootKey || mig.IsFrozen(e.Key) || mig.PendingFor(e.Auth)[e.Key] {
 			continue
 		}
 		if lv != nil && lv.ReadLeased(e.Key) {
+			continue
+		}
+		if tv != nil && tv.TenantThrottled(e.Key) {
 			continue
 		}
 		if !v.Up(e.Auth) {

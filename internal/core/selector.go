@@ -193,6 +193,13 @@ func (s *Selector) enumerate(ctx *selCtx, amount float64) []balancer.Candidate {
 	// handled by replication, not migration (balancer.LeaseView).
 	lv, _ := ctx.v.(balancer.LeaseView)
 
+	// Subtrees hot because of an admission-throttled tenant stay put:
+	// the noisy neighbour is contained by its token bucket where it
+	// sits, and exporting its subtree would spread the over-quota load
+	// (and whatever shares the subtree) across more ranks
+	// (balancer.TenantView).
+	tv, _ := ctx.v.(balancer.TenantView)
+
 	var cands []balancer.Candidate
 	for _, e := range ctx.part.EntriesOf(ctx.ex) {
 		if skip[e.Key] || ctx.v.Migrator().IsFrozen(e.Key) {
@@ -202,9 +209,18 @@ func (s *Selector) enumerate(ctx *selCtx, amount float64) []balancer.Candidate {
 			continue
 		}
 		if e.Key == rootKey {
+			// The root entry aggregates every tenant's heat, so the
+			// fairness skip below would freeze the entire namespace on
+			// this rank the moment any tenant is throttled — innocent
+			// subtrees included. Expand it unconditionally; once a child
+			// is carved into its own entry it gets its own tenant
+			// attribution and the skip applies at that granularity.
 			for _, ch := range ctx.childDirs(tree.Root(), namespace.WholeFrag) {
 				cands = append(cands, balancer.Candidate{Dir: ch, Load: ctx.dirLoad(ch)})
 			}
+			continue
+		}
+		if tv != nil && tv.TenantThrottled(e.Key) {
 			continue
 		}
 		cands = append(cands, balancer.Candidate{Key: e.Key, IsEntry: true, Load: ctx.keyLoad(e.Key)})

@@ -124,6 +124,14 @@ type Snapshot struct {
 	// IF is the epoch's imbalance factor, recorded on decisions for
 	// the trace (the utilization signal alone drives the policy).
 	IF float64
+	// MaxTenantDebt is the worst per-tenant SLO debt of the closed
+	// epoch — the fraction of a tenant's within-quota demand the rank
+	// pools could not serve — already gated by the tenancy policy's
+	// debt threshold (0 when tenancy is off, no tenant crossed the
+	// threshold, or the threshold is disabled). Nonzero means some
+	// tenant is starved despite being inside its quota, which is a
+	// capacity problem, so it triggers scale-up like saturation does.
+	MaxTenantDebt float64
 }
 
 // Util returns the demand estimate the thresholds compare against:
@@ -210,7 +218,7 @@ func (c *Controller) Observe(s Snapshot) Decision {
 		return none("cooldown")
 	}
 	switch {
-	case util >= c.policy.ScaleUpUtil:
+	case util >= c.policy.ScaleUpUtil || s.MaxTenantDebt > 0:
 		delta := c.policy.StepUp
 		if s.ActiveRanks+delta > c.policy.MaxRanks {
 			delta = c.policy.MaxRanks - s.ActiveRanks
@@ -220,7 +228,15 @@ func (c *Controller) Observe(s Snapshot) Decision {
 		}
 		c.noteScale(s.Epoch)
 		c.scaleUps++
-		return Decision{Action: ScaleUp, Delta: delta, Reason: "saturated", Util: util}
+		reason := "saturated"
+		if util < c.policy.ScaleUpUtil {
+			// Only the tenant-debt signal fired: a tenant inside its
+			// quota is starved for capacity even though aggregate
+			// utilization looks fine (its demand is concentrated where
+			// the pools run dry).
+			reason = "tenant_debt"
+		}
+		return Decision{Action: ScaleUp, Delta: delta, Reason: reason, Util: util}
 	case util < c.policy.ScaleDownUtil:
 		delta := c.policy.StepDown
 		if s.ActiveRanks-delta < c.policy.MinRanks {

@@ -337,6 +337,42 @@ func TestReadStormLeasesBeatMigration(t *testing.T) {
 	}
 }
 
+func TestNoisyQoSProtectsVictims(t *testing.T) {
+	res, err := Run("noisy", Options{Scale: 0.25, Seed: 42, MaxTicks: 4000, Audit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iso := res.Values["isolated.victim50"]
+	if iso <= 0 {
+		t.Fatal("isolated baseline recorded no victim completions")
+	}
+	// Without admission control the storm degrades victims badly no
+	// matter which balancer runs — spreading the storm spreads the
+	// congestion.
+	for _, cell := range []string{"vanilla", "lunule"} {
+		if r := res.Values[cell+".victim50"] / iso; r < 2 {
+			t.Fatalf("%s victim p50 only %.2fx isolated; the storm should at least double it", cell, r)
+		}
+		if res.Values[cell+".aggr_throttled"] != 0 {
+			t.Fatalf("%s cell throttled the aggressor; its buckets must be uncontended", cell)
+		}
+	}
+	// With per-tenant buckets the victims stay near their isolated
+	// completion times (full scale holds 1.25x; the shorter test run
+	// leaves the startup transient a bigger share, hence 1.5x) and the
+	// win must come from admission actually cutting the aggressor.
+	if r := res.Values["qos.victim50"] / iso; r > 1.5 {
+		t.Fatalf("qos victim p50 %.2fx isolated, want <= 1.5x", r)
+	}
+	if res.Values["qos.victim50"] >= res.Values["vanilla.victim50"] ||
+		res.Values["qos.victim50"] >= res.Values["lunule.victim50"] {
+		t.Fatal("qos cell does not beat both unprotected cells on victim p50")
+	}
+	if res.Values["qos.aggr_throttled"] == 0 {
+		t.Fatal("qos cell never throttled the aggressor")
+	}
+}
+
 func TestResultRendering(t *testing.T) {
 	res := quick(t, "overhead")
 	out := res.String()

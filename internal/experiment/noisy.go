@@ -1,0 +1,220 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/tenant"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("noisy",
+		"Extension: multi-tenant QoS — token-bucket admission isolates victims from a noisy neighbor's metadata storm",
+		runNoisy)
+}
+
+// Shape of the noisy-neighbor scenario. The aggressor's offered load
+// (160 clients x 150 ops/tick) alone is three times the whole cluster's
+// service rate (4 ranks x 2000 ops/tick), so without admission control
+// victims queue behind the storm no matter how well the balancer
+// spreads it.
+// The QoS cell caps every tenant at 1300 ops/tick: the three victims
+// (8 clients x 150 = 1200 ops/tick each) never touch their caps, while
+// the aggressor is cut to a twentieth of its demand, leaving the
+// cluster uncongested.
+const (
+	noisyAggrClients   = 160
+	noisyAggrDirs      = 8
+	noisyVictimClients = 8
+	noisyVictims       = 3
+	noisyOpsPerClient  = 24000
+	noisyRate          = 1300
+	noisyBurst         = 1300
+)
+
+// neutralTenancy is an accounting-only manager: buckets so large no
+// tenant can ever drain one, which is behavior-identical to running
+// without tenancy (the idle-differential test proves byte equality)
+// but still sizes the per-tenant JCT/latency slots in the recorder.
+func neutralTenancy() *tenant.Manager {
+	pol := tenant.DefaultPolicy()
+	pol.Rate, pol.Burst = 1e9, 2e9
+	return tenant.MustManager(pol)
+}
+
+func qosTenancy() *tenant.Manager {
+	pol := tenant.DefaultPolicy()
+	pol.Rate, pol.Burst = noisyRate, noisyBurst
+	return tenant.MustManager(pol)
+}
+
+// noisyVictimGen builds victim v's generator: the standard Zipf/MDtest/
+// ReadStorm mixture, each victim in its own subtree. Shared between the
+// isolated baseline (victims are tenants 0..2) and the loaded cells
+// (victims are tenants 1..3 behind the aggressor), so the victim work
+// is identical in every cell.
+func noisyVictimGen(v, off int, scale float64) workload.Generator {
+	dir := fmt.Sprintf("/victim%02d", v)
+	switch v % 3 {
+	case 0:
+		return workload.NewZipf(workload.ZipfConfig{
+			Dir: dir + "/zipf", ClientOffset: off,
+			OpsPerClient: scaled(noisyOpsPerClient, scale)})
+	case 1:
+		return workload.NewMD(workload.MDConfig{
+			Dir: dir + "/md", ClientOffset: off,
+			CreatesPerClient: scaled(noisyOpsPerClient, scale)})
+	default:
+		return workload.NewReadStorm(workload.ReadStormConfig{
+			Dir: dir + "/storm", ClientOffset: off, WriteEvery: 50,
+			OpsPerClient: scaled(noisyOpsPerClient, scale)})
+	}
+}
+
+// noisyAggrGen builds the aggressor: four parallel shared-directory
+// create storms. One storm would sit on a single rank under the vanilla
+// balancer, leaving the other ranks — and most victims — untouched;
+// four storms land on every rank, so no placement luck can shield a
+// victim. Each storm's offered load still exceeds a single rank's
+// capacity on its own.
+func noisyAggrGen(off int, scale float64) workload.Generator {
+	gens := make([]workload.Generator, noisyAggrDirs)
+	per := noisyAggrClients / noisyAggrDirs
+	for d := range gens {
+		gens[d] = workload.NewMDShared(workload.MDSharedConfig{
+			Dir:              fmt.Sprintf("/noisy/dir%d", d),
+			ClientOffset:     off + d*per,
+			CreatesPerClient: scaled(noisyOpsPerClient, scale)})
+	}
+	return workload.NewMixed(gens...)
+}
+
+// runNoisy measures tenant isolation under a metadata storm. Four cells:
+// the victims alone (the baseline their completion times are judged
+// against), then victims plus a 96-client shared-directory create storm
+// under the vanilla balancer, under Lunule without QoS, and under Lunule
+// with per-tenant token buckets. Balancing alone cannot protect the
+// victims — the storm's demand exceeds the whole cluster's capacity, so
+// spreading it just saturates every rank — only admission control keeps
+// the victims at their isolated completion times.
+func runNoisy(opt Options) (*Result, error) {
+	victimsOnly := func() workload.Generator {
+		counts := make([]int, noisyVictims)
+		for v := range counts {
+			counts[v] = noisyVictimClients
+		}
+		return workload.NewTenants(workload.TenantsConfig{Counts: counts},
+			func(t, clients, off int) workload.Generator {
+				return noisyVictimGen(t, off, opt.Scale)
+			})
+	}
+	loaded := func() workload.Generator {
+		counts := append([]int{noisyAggrClients}, make([]int, noisyVictims)...)
+		for v := 1; v < len(counts); v++ {
+			counts[v] = noisyVictimClients
+		}
+		return workload.NewTenants(workload.TenantsConfig{Counts: counts},
+			func(t, clients, off int) workload.Generator {
+				if t == 0 {
+					return noisyAggrGen(off, opt.Scale)
+				}
+				return noisyVictimGen(t-1, off, opt.Scale)
+			})
+	}
+
+	cells := []struct {
+		key      string
+		name     string
+		balancer string
+		loaded   bool
+		qos      bool
+	}{
+		{"isolated", "Isolated victims", "Lunule", false, false},
+		{"vanilla", "Vanilla+storm", "Vanilla", true, false},
+		{"lunule", "Lunule+storm", "Lunule", true, false},
+		{"qos", "Lunule+QoS+storm", "Lunule", true, true},
+	}
+
+	res := &Result{Table: &metrics.Table{Header: []string{
+		"cell", "victim p50", "victim lat", "aggr p50",
+		"aggr throttled", "ops/sec", "done",
+	}}}
+	for _, cell := range cells {
+		tn := neutralTenancy()
+		if cell.qos {
+			tn = qosTenancy()
+		}
+		gen := victimsOnly()
+		clients := noisyVictims * noisyVictimClients
+		if cell.loaded {
+			gen = loaded()
+			clients += noisyAggrClients
+		}
+		c, err := runOne(opt, cluster.Config{
+			MDS:      4,
+			Clients:  clients,
+			Balancer: MakeBalancer(cell.balancer),
+			Workload: gen,
+			Tenancy:  tn,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if !c.Done() {
+			return nil, fmt.Errorf("noisy: %s cell did not finish in %d ticks", cell.name, opt.MaxTicks)
+		}
+		rec := c.Metrics()
+
+		// The gate metric is the WORST victim tenant's median client
+		// completion time: isolation must hold for every victim, not on
+		// average.
+		firstVictim := 0
+		if cell.loaded {
+			firstVictim = 1
+		}
+		var victim50, victimLat float64
+		for v := 0; v < noisyVictims; v++ {
+			if p := rec.TenantJCTQuantile(firstVictim+v, 0.5); p > victim50 {
+				victim50 = p
+			}
+			if l := rec.TenantMeanLatency(firstVictim + v); l > victimLat {
+				victimLat = l
+			}
+		}
+		var aggr50, aggrThrottled float64
+		if cell.loaded {
+			aggr50 = rec.TenantJCTQuantile(0, 0.5)
+			aggrThrottled = float64(tn.Throttled(0))
+		}
+
+		res.Table.Add(cell.name,
+			fi(victim50), f2(victimLat), fi(aggr50),
+			fi(aggrThrottled), f1(rec.MeanThroughput()),
+			fmt.Sprintf("%v", c.Done()))
+		res.val(cell.key+".victim50", victim50)
+		res.val(cell.key+".victim_lat", victimLat)
+		if cell.loaded {
+			res.val(cell.key+".aggr50", aggr50)
+			res.val(cell.key+".aggr_throttled", aggrThrottled)
+		}
+	}
+
+	iso := res.Values["isolated.victim50"]
+	if iso > 0 {
+		res.Notes = append(res.Notes,
+			fmt.Sprintf("victim slowdown vs isolated p50=%s: vanilla %.2fx, lunule %.2fx, qos %.2fx",
+				fi(iso),
+				res.Values["vanilla.victim50"]/iso,
+				res.Values["lunule.victim50"]/iso,
+				res.Values["qos.victim50"]/iso))
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("aggressor: %d clients hammering %d shared directories — offered load alone (%d ops/tick) exceeds total cluster capacity",
+			noisyAggrClients, noisyAggrDirs, noisyAggrClients*150),
+		fmt.Sprintf("qos cell: flat per-tenant buckets rate=%d burst=%d ops/tick; victims (%d clients each) never touch their caps",
+			noisyRate, noisyBurst, noisyVictimClients),
+		"balancing spreads the storm but cannot shrink it; admission control is what protects the victims")
+	return res, nil
+}

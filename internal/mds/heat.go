@@ -40,6 +40,14 @@ type heatTable struct {
 	epoch int64
 	byKey map[namespace.FragKey]*heatCell
 	byDir map[namespace.Ino]*heatCell
+	// tenants is the tenant dimension of byKeyT (0 = single-tenant
+	// cluster; no per-tenant split is kept and bumpTenant is never
+	// called).
+	tenants int
+	// byKeyT attributes each key's heat to the tenants that generated
+	// it — the fairness signal behind "throttle, don't migrate". Only
+	// allocated when the cluster runs with tenant QoS.
+	byKeyT map[namespace.FragKey]*tenantCell
 	// pow[k] = decay^k, built incrementally by repeated multiplication
 	// (so pow[k] is exactly what k eager sweeps would have multiplied
 	// by, up to floating-point reassociation). Once decay^k underflows
@@ -172,6 +180,16 @@ func (t *heatTable) endEpoch() (purged bool) {
 			delete(t.byDir, k)
 		}
 	}
+	for k, c := range t.byKeyT {
+		sum := 0.0
+		for _, v := range c.vals {
+			sum += v
+		}
+		if p, ok := t.powAt(t.epoch - c.epoch); ok && sum*p >= heatFloor {
+			continue
+		}
+		delete(t.byKeyT, k)
+	}
 	return true
 }
 
@@ -207,6 +225,87 @@ func (t *heatTable) minValue() float64 {
 		return 0
 	}
 	return min
+}
+
+// tenantCell tracks one key's per-tenant decayed heat split — which
+// tenant is responsible for the key being hot. It shares the table's
+// epoch/decay regime: all components decay by the same factor, so the
+// per-tenant shares (and therefore the dominance test) are invariant
+// under pending decay.
+type tenantCell struct {
+	vals  []float64
+	epoch int64
+}
+
+// setTenants gives the table a tenant dimension. Idempotent; called at
+// cluster construction and again after Rejoin rebuilds the table.
+func (t *heatTable) setTenants(n int) {
+	t.tenants = n
+	if n > 0 && t.byKeyT == nil {
+		t.byKeyT = make(map[namespace.FragKey]*tenantCell)
+	}
+}
+
+// bumpTenant folds pending decay into the key's tenant split and
+// charges n accesses to tenant tn. Only called when the table has a
+// tenant dimension.
+func (t *heatTable) bumpTenant(key namespace.FragKey, tn, n int) {
+	c := t.byKeyT[key]
+	if c == nil {
+		c = &tenantCell{vals: make([]float64, t.tenants), epoch: t.epoch}
+		t.byKeyT[key] = c
+	}
+	if k := t.epoch - c.epoch; k > 0 {
+		p, ok := t.powAt(k)
+		if !ok {
+			p = 0
+		}
+		for i := range c.vals {
+			c.vals[i] *= p
+		}
+		c.epoch = t.epoch
+	}
+	c.vals[tn] += float64(n)
+}
+
+// dominantTenant returns the tenant responsible for MORE than half of
+// the key's tenant-attributed heat, or -1 when no tenant dominates.
+// Pending decay scales every component equally, so the shares need no
+// fold before comparing.
+func (t *heatTable) dominantTenant(key namespace.FragKey) int {
+	c := t.byKeyT[key]
+	if c == nil {
+		return -1
+	}
+	best, bestV, sum := -1, 0.0, 0.0
+	for i, v := range c.vals {
+		sum += v
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	if sum <= 0 || bestV*2 <= sum {
+		return -1
+	}
+	return best
+}
+
+// tenantHeat returns the key's decayed heat attributed to tenant tn
+// (0 when the key carries no tenant split).
+func (t *heatTable) tenantHeat(key namespace.FragKey, tn int) float64 {
+	c := t.byKeyT[key]
+	if c == nil || tn < 0 || tn >= len(c.vals) {
+		return 0
+	}
+	p, ok := t.powAt(t.epoch - c.epoch)
+	if !ok {
+		return 0
+	}
+	v := c.vals[tn] * p
+	if v < heatFloor {
+		return 0
+	}
+	return v
 }
 
 // dirChain caches the ancestor heat cells an access to a child of one

@@ -69,6 +69,10 @@ type Server struct {
 
 	heatDecay float64
 	heat      *heatTable
+	// tenants is the tenant dimension of the heat table's per-tenant
+	// split (0 = single-tenant). Kept on the server so Rejoin, which
+	// rebuilds the table, can re-apply it.
+	tenants int
 
 	// chainCache memoizes, per parent directory, the ancestor heat
 	// cells an access under that directory bumps. Invalidated by
@@ -207,6 +211,7 @@ func (s *Server) Rejoin() {
 	s.state = RankActive
 	s.collector = trace.NewCollector(s.historyWindows)
 	s.heat = newHeatTable(s.heatDecay)
+	s.heat.setTenants(s.tenants)
 	s.chainCache = make(map[namespace.Ino]*dirChain)
 	s.cacheGen++
 	s.loadHistory = nil
@@ -524,6 +529,39 @@ func (s *Server) MinHeat() float64 {
 func (s *Server) DropSubtreeStats(key namespace.FragKey) {
 	s.collector.Forget(key)
 	delete(s.heat.byKey, key)
+	delete(s.heat.byKeyT, key)
+}
+
+// EnableTenants gives the server's heat table a per-tenant dimension
+// of n tenants. Survives Rejoin (the rebuilt table re-applies it).
+func (s *Server) EnableTenants(n int) {
+	s.tenants = n
+	s.heat.setTenants(n)
+}
+
+// AddTenantHeat attributes n served accesses under the key to tenant
+// t's share of the key's heat. No-op on single-tenant servers or
+// out-of-range tenants, so call sites need no guard.
+func (s *Server) AddTenantHeat(key namespace.FragKey, t, n int) {
+	if s.tenants == 0 || t < 0 || t >= s.tenants || n <= 0 {
+		return
+	}
+	s.heat.bumpTenant(key, t, n)
+}
+
+// DominantTenant returns the tenant responsible for more than half of
+// the key's tenant-attributed heat, or -1 when no tenant dominates
+// (including on single-tenant servers).
+func (s *Server) DominantTenant(key namespace.FragKey) int {
+	if s.tenants == 0 {
+		return -1
+	}
+	return s.heat.dominantTenant(key)
+}
+
+// TenantHeat returns the key's decayed heat attributed to tenant t.
+func (s *Server) TenantHeat(key namespace.FragKey, t int) float64 {
+	return s.heat.tenantHeat(key, t)
 }
 
 // LoadHistory returns the per-epoch load series (ops/sec). The returned

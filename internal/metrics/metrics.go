@@ -59,6 +59,12 @@ type Recorder struct {
 	batchOps      int64
 	batchSize     [maxLatencyBucket]int64
 	flushAge      [maxLatencyBucket]int64
+
+	// Per-tenant measurements (empty unless the run used tenant QoS):
+	// tenantJCT[t] holds tenant t's client completion ticks, tenantLat[t]
+	// accumulates tenant t's op-latency histogram. Sized by SetTenants.
+	tenantJCT [][]float64
+	tenantLat []LatencyShard
 }
 
 // RecoveryEvent records one completed failover takeover.
@@ -232,6 +238,95 @@ func (r *Recorder) MergeLatencyShard(s *LatencyShard) {
 	r.latencyN += s.n
 	r.latencySum += s.sum
 	s.maxIdx, s.n, s.sum = 0, 0, 0
+}
+
+// SetTenants sizes the per-tenant measurement slots (idempotent, never
+// shrinks). Zero tenants — the default — keeps the recorder free of any
+// per-tenant state.
+func (r *Recorder) SetTenants(n int) {
+	if n <= len(r.tenantLat) {
+		return
+	}
+	lat := make([]LatencyShard, n)
+	copy(lat, r.tenantLat)
+	r.tenantLat = lat
+	jct := make([][]float64, n)
+	copy(jct, r.tenantJCT)
+	r.tenantJCT = jct
+}
+
+// Tenants returns how many tenants the recorder tracks (0 when the run
+// was single-tenant).
+func (r *Recorder) Tenants() int { return len(r.tenantLat) }
+
+// AddTenantJCT records a client completion time under its tenant.
+func (r *Recorder) AddTenantJCT(t int, tick int64) {
+	if t >= 0 && t < len(r.tenantJCT) {
+		r.tenantJCT[t] = append(r.tenantJCT[t], float64(tick))
+	}
+}
+
+// TenantJCTCount returns how many of tenant t's clients have finished.
+func (r *Recorder) TenantJCTCount(t int) int {
+	if t < 0 || t >= len(r.tenantJCT) {
+		return 0
+	}
+	return len(r.tenantJCT[t])
+}
+
+// TenantJCTQuantile returns the q-quantile completion time of tenant
+// t's clients (0 when none finished).
+func (r *Recorder) TenantJCTQuantile(t int, q float64) float64 {
+	if t < 0 || t >= len(r.tenantJCT) {
+		return 0
+	}
+	return stats.Percentile(r.tenantJCT[t], q)
+}
+
+// MergeTenantLatencyShard folds a per-lane tenant latency shard into
+// tenant t's histogram and resets the shard for reuse. Integer adds
+// only, so merge order cannot change the result.
+func (r *Recorder) MergeTenantLatencyShard(t int, s *LatencyShard) {
+	if t < 0 || t >= len(r.tenantLat) {
+		return
+	}
+	d := &r.tenantLat[t]
+	for i := 0; i < s.maxIdx; i++ {
+		if c := s.counts[i]; c != 0 {
+			d.counts[i] += c
+			s.counts[i] = 0
+		}
+	}
+	if s.maxIdx > d.maxIdx {
+		d.maxIdx = s.maxIdx
+	}
+	d.n += s.n
+	d.sum += s.sum
+	s.maxIdx, s.n, s.sum = 0, 0, 0
+}
+
+// TenantOps returns how many ops tenant t completed.
+func (r *Recorder) TenantOps(t int) int64 {
+	if t < 0 || t >= len(r.tenantLat) {
+		return 0
+	}
+	return r.tenantLat[t].n
+}
+
+// TenantMeanLatency returns tenant t's average op latency in ticks.
+func (r *Recorder) TenantMeanLatency(t int) float64 {
+	if t < 0 || t >= len(r.tenantLat) || r.tenantLat[t].n == 0 {
+		return 0
+	}
+	return float64(r.tenantLat[t].sum) / float64(r.tenantLat[t].n)
+}
+
+// TenantLatencyQuantile returns the q-quantile op latency of tenant t.
+func (r *Recorder) TenantLatencyQuantile(t int, q float64) float64 {
+	if t < 0 || t >= len(r.tenantLat) {
+		return 0
+	}
+	return stats.QuantileOfCounts(r.tenantLat[t].counts[:], func(i int) float64 { return float64(i + 1) }, q)
 }
 
 // MeanLatency returns the average op latency in ticks (0 if none).

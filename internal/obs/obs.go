@@ -108,6 +108,11 @@ const (
 	// write|migrate|crash|drain; dir and frag on write revokes, rank on
 	// crash/drain revokes).
 	EvLeaseRevoke Type = "lease_revoke"
+
+	// Tenant QoS events.
+	// EvTenantThrottle marks a tenant's token bucket denying admission
+	// during one tick (fields: tenant, n, tokens).
+	EvTenantThrottle Type = "tenant_throttle"
 )
 
 // AllTypes lists every event type in a stable order.
@@ -122,6 +127,7 @@ func AllTypes() []Type {
 		EvReplicaPromote, EvJournalLag, EvRereplicate,
 		EvBatchFlush, EvBatchCommit, EvBatchRequeue,
 		EvLeaseGrant, EvLeaseRevoke,
+		EvTenantThrottle,
 	}
 }
 

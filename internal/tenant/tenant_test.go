@@ -1,0 +1,186 @@
+package tenant
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPolicyValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		pol  Policy
+		ok   bool
+	}{
+		{"default", DefaultPolicy(), true},
+		{"flat", Policy{Rate: 10, Burst: 20, WeightMode: WeightFlat}, true},
+		{"clients", Policy{Rate: 10, Burst: 10, WeightMode: WeightClients}, true},
+		{"empty mode", Policy{Rate: 1, Burst: 1}, true},
+		{"zero rate", Policy{Rate: 0, Burst: 10}, false},
+		{"negative rate", Policy{Rate: -1, Burst: 10}, false},
+		{"nan rate", Policy{Rate: math.NaN(), Burst: 10}, false},
+		{"burst below rate", Policy{Rate: 10, Burst: 5}, false},
+		{"bad mode", Policy{Rate: 1, Burst: 1, WeightMode: "zipf"}, false},
+		{"debt one", Policy{Rate: 1, Burst: 1, DebtThreshold: 1}, false},
+		{"debt negative", Policy{Rate: 1, Burst: 1, DebtThreshold: -0.1}, false},
+	}
+	for _, c := range cases {
+		if err := c.pol.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestBindWeightModes(t *testing.T) {
+	m := MustManager(Policy{Rate: 10, Burst: 30, WeightMode: WeightFlat})
+	if err := m.Bind([]int{1, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if m.RateOf(0) != 10 || m.RateOf(1) != 10 {
+		t.Errorf("flat rates = %v, %v, want 10, 10", m.RateOf(0), m.RateOf(1))
+	}
+	m = MustManager(Policy{Rate: 10, Burst: 30, WeightMode: WeightClients})
+	if err := m.Bind([]int{1, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if m.RateOf(0) != 10 || m.RateOf(1) != 40 {
+		t.Errorf("clients rates = %v, %v, want 10, 40", m.RateOf(0), m.RateOf(1))
+	}
+	if m.BurstOf(1) != 120 {
+		t.Errorf("clients burst = %v, want 120", m.BurstOf(1))
+	}
+	if m.Tokens(1) != 120 {
+		t.Errorf("bucket should start full, tokens = %v", m.Tokens(1))
+	}
+	if err := m.Bind(nil); err == nil {
+		t.Error("Bind(nil) should fail")
+	}
+	if err := m.Bind([]int{3, 0}); err == nil {
+		t.Error("Bind with an empty tenant should fail")
+	}
+}
+
+func TestTakeRefundBounds(t *testing.T) {
+	m := MustManager(Policy{Rate: 5, Burst: 10})
+	if err := m.Bind([]int{2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Take(0, 4); got != 4 {
+		t.Fatalf("Take(4) on a full bucket = %d, want 4", got)
+	}
+	if got := m.Take(0, 100); got != 6 {
+		t.Fatalf("Take(100) with 6 tokens = %d, want 6", got)
+	}
+	if got := m.Take(0, 1); got != 0 {
+		t.Fatalf("Take on a dry bucket = %d, want 0", got)
+	}
+	m.Refund(0, 3)
+	if m.Tokens(0) != 3 {
+		t.Fatalf("tokens after refund = %v, want 3", m.Tokens(0))
+	}
+	m.Refund(0, 100)
+	if m.Tokens(0) != 10 {
+		t.Fatalf("refund must clamp at burst, tokens = %v", m.Tokens(0))
+	}
+	m.BeginTick()
+	if m.Tokens(0) != 10 {
+		t.Fatalf("refill must clamp at burst, tokens = %v", m.Tokens(0))
+	}
+	if m.Tokens(0) < 0 || m.Tokens(0) > m.BurstOf(0) {
+		t.Fatalf("tokens out of [0, burst]: %v", m.Tokens(0))
+	}
+}
+
+func TestFractionalTokensStayWhole(t *testing.T) {
+	m := MustManager(Policy{Rate: 1.5, Burst: 2})
+	if err := m.Bind([]int{1}); err != nil {
+		t.Fatal(err)
+	}
+	m.Take(0, 2) // drain the full bucket
+	m.BeginTick()
+	// 1.5 tokens: only whole ops are granted, the half token stays.
+	if got := m.Take(0, 5); got != 1 {
+		t.Fatalf("Take with 1.5 tokens = %d, want 1", got)
+	}
+	m.BeginTick()
+	// 0.5 + 1.5 = 2 tokens now.
+	if got := m.Take(0, 5); got != 2 {
+		t.Fatalf("fractional carry lost: Take = %d, want 2", got)
+	}
+}
+
+func TestDebtAndThrottleLatch(t *testing.T) {
+	m := MustManager(Policy{Rate: 10, Burst: 10, DebtThreshold: 0.3})
+	if err := m.Bind([]int{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Tenant 0: 6 admitted, 4 pool-stalled -> debt 0.4.
+	m.NoteAdmitted(0, 6)
+	m.NoteStalled(0, 4)
+	// Tenant 1: throttled by its bucket but fully served otherwise.
+	m.NoteAdmitted(1, 10)
+	m.NoteThrottled(1, 50)
+	if m.MaxDebt() != 0 {
+		t.Errorf("debt must only appear after EndEpoch, got %v", m.MaxDebt())
+	}
+	m.EndEpoch()
+	if got := m.DebtOf(0); got != 0.4 {
+		t.Errorf("debt(0) = %v, want 0.4", got)
+	}
+	if got := m.DebtOf(1); got != 0 {
+		t.Errorf("throttles must not create debt, debt(1) = %v", got)
+	}
+	if got := m.MaxDebt(); got != 0.4 {
+		t.Errorf("MaxDebt = %v, want 0.4", got)
+	}
+	if m.ThrottledLastEpoch(0) || !m.ThrottledLastEpoch(1) {
+		t.Errorf("throttle latch = %v, %v, want false, true",
+			m.ThrottledLastEpoch(0), m.ThrottledLastEpoch(1))
+	}
+	// A clean epoch clears both the latch and the debt.
+	m.EndEpoch()
+	if m.MaxDebt() != 0 || m.ThrottledLastEpoch(1) {
+		t.Errorf("clean epoch must clear debt and latch: debt=%v latch=%v",
+			m.MaxDebt(), m.ThrottledLastEpoch(1))
+	}
+}
+
+func TestMaxDebtThreshold(t *testing.T) {
+	m := MustManager(Policy{Rate: 10, Burst: 10, DebtThreshold: 0.5})
+	if err := m.Bind([]int{1}); err != nil {
+		t.Fatal(err)
+	}
+	m.NoteAdmitted(0, 8)
+	m.NoteStalled(0, 2)
+	m.EndEpoch()
+	if got := m.MaxDebt(); got != 0 {
+		t.Errorf("debt 0.2 below threshold 0.5 must report 0, got %v", got)
+	}
+	disabled := MustManager(Policy{Rate: 10, Burst: 10, DebtThreshold: 0})
+	if err := disabled.Bind([]int{1}); err != nil {
+		t.Fatal(err)
+	}
+	disabled.NoteStalled(0, 100)
+	disabled.EndEpoch()
+	if got := disabled.MaxDebt(); got != 0 {
+		t.Errorf("threshold 0 disables the signal, got %v", got)
+	}
+}
+
+func TestTickCounters(t *testing.T) {
+	m := MustManager(Policy{Rate: 10, Burst: 10})
+	if err := m.Bind([]int{1}); err != nil {
+		t.Fatal(err)
+	}
+	m.NoteAdmitted(0, 7)
+	m.NoteThrottled(0, 3)
+	if m.AdmittedTick(0) != 7 || m.ThrottledTick(0) != 3 {
+		t.Fatalf("tick counters = %d, %d, want 7, 3", m.AdmittedTick(0), m.ThrottledTick(0))
+	}
+	m.BeginTick()
+	if m.AdmittedTick(0) != 0 || m.ThrottledTick(0) != 0 {
+		t.Fatal("BeginTick must reset tick counters")
+	}
+	if m.Admitted(0) != 7 || m.Throttled(0) != 3 {
+		t.Fatalf("cumulative counters = %d, %d, want 7, 3", m.Admitted(0), m.Throttled(0))
+	}
+}

@@ -27,6 +27,12 @@ type MDConfig struct {
 	// stat targets the directory, not the just-created file, so op
 	// streams stay independent of unadopted creates. 0 disables.
 	StatEvery int
+	// Dir is the workload's root directory (default "/md").
+	Dir string
+	// ClientOffset shifts the client indices baked into directory and
+	// create names. Sub-populations that share a root (tenant mixes)
+	// must use disjoint offsets, or their names collide.
+	ClientOffset int
 }
 
 func (c *MDConfig) defaults() {
@@ -38,6 +44,9 @@ func (c *MDConfig) defaults() {
 	}
 	if c.StatEvery < 0 {
 		c.StatEvery = 0
+	}
+	if c.Dir == "" {
+		c.Dir = "/md"
 	}
 }
 
@@ -56,13 +65,13 @@ func (g *MD) Name() string { return "MD" }
 // Setup implements Generator: it builds one empty private directory per
 // client under /md and streams create ops into it.
 func (g *MD) Setup(tree *namespace.Tree, clients int, src *rng.Source) ([]ClientSpec, error) {
-	root, err := tree.MkdirAll("/md")
+	root, err := tree.MkdirAll(g.cfg.Dir)
 	if err != nil {
 		return nil, err
 	}
 	streams := make([]Stream, clients)
 	for c := 0; c < clients; c++ {
-		dir, err := tree.Mkdir(root, fmt.Sprintf("client%03d", c))
+		dir, err := tree.Mkdir(root, fmt.Sprintf("client%03d", g.cfg.ClientOffset+c))
 		if err != nil {
 			return nil, err
 		}
@@ -77,7 +86,7 @@ func (g *MD) Setup(tree *namespace.Tree, clients int, src *rng.Source) ([]Client
 				dirs = append(dirs, sub)
 			}
 		}
-		streams[c] = newCreates(dirs, c, g.cfg.CreatesPerClient, g.cfg.StatEvery)
+		streams[c] = newCreates(dirs, g.cfg.ClientOffset+c, g.cfg.CreatesPerClient, g.cfg.StatEvery)
 	}
 	return jitterSpecs(streams, 0, 0, src.Fork(1)), nil
 }

@@ -27,6 +27,13 @@ type ReadStormConfig struct {
 	// they invalidate any read leases on the directory — the knob
 	// exists to exercise the write-revoke path under load.
 	WriteEvery int
+	// Dir is the shared directory's path (default "/readstorm/dir").
+	// Multi-tenant mixes point each tenant's storm at its own subtree.
+	Dir string
+	// ClientOffset shifts the client indices baked into generated
+	// create names. Sub-populations that share a namespace (tenant
+	// mixes) must use disjoint offsets, or their create names collide.
+	ClientOffset int
 }
 
 func (c *ReadStormConfig) defaults() {
@@ -38,6 +45,9 @@ func (c *ReadStormConfig) defaults() {
 	}
 	if c.Exponent == 0 {
 		c.Exponent = 0.98
+	}
+	if c.Dir == "" {
+		c.Dir = "/readstorm/dir"
 	}
 }
 
@@ -56,7 +66,7 @@ func (g *ReadStorm) Name() string { return "ReadStorm" }
 // Setup implements Generator: one common directory of Files files, with
 // every client streaming Zipf-skewed getattrs over it.
 func (g *ReadStorm) Setup(tree *namespace.Tree, clients int, src *rng.Source) ([]ClientSpec, error) {
-	dir, err := tree.MkdirAll("/readstorm/dir")
+	dir, err := tree.MkdirAll(g.cfg.Dir)
 	if err != nil {
 		return nil, err
 	}
@@ -71,7 +81,7 @@ func (g *ReadStorm) Setup(tree *namespace.Tree, clients int, src *rng.Source) ([
 	streams := make([]Stream, clients)
 	for c := 0; c < clients; c++ {
 		streams[c] = newZipfStats(dir, files, g.cfg.OpsPerClient, g.cfg.Exponent,
-			g.cfg.WriteEvery, c, src.Fork(uint64(c)+10))
+			g.cfg.WriteEvery, g.cfg.ClientOffset+c, src.Fork(uint64(c)+10))
 	}
 	return jitterSpecs(streams, 0, 0, src.Fork(1)), nil
 }

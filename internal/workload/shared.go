@@ -13,11 +13,20 @@ import (
 type MDSharedConfig struct {
 	// CreatesPerClient is the number of files each client creates.
 	CreatesPerClient int
+	// Dir is the shared directory's path (default "/mdshared/dir").
+	Dir string
+	// ClientOffset shifts the client indices baked into create names.
+	// Sub-populations that share a directory (tenant mixes) must use
+	// disjoint offsets, or their create names collide.
+	ClientOffset int
 }
 
 func (c *MDSharedConfig) defaults() {
 	if c.CreatesPerClient == 0 {
 		c.CreatesPerClient = 4000
+	}
+	if c.Dir == "" {
+		c.Dir = "/mdshared/dir"
 	}
 }
 
@@ -36,13 +45,13 @@ func (g *MDShared) Name() string { return "MD-shared" }
 // Setup implements Generator: one common empty directory, with every
 // client streaming uniquely named creates into it.
 func (g *MDShared) Setup(tree *namespace.Tree, clients int, src *rng.Source) ([]ClientSpec, error) {
-	dir, err := tree.MkdirAll("/mdshared/dir")
+	dir, err := tree.MkdirAll(g.cfg.Dir)
 	if err != nil {
 		return nil, err
 	}
 	streams := make([]Stream, clients)
 	for c := 0; c < clients; c++ {
-		streams[c] = newCreates([]*namespace.Inode{dir}, c, g.cfg.CreatesPerClient, 0)
+		streams[c] = newCreates([]*namespace.Inode{dir}, g.cfg.ClientOffset+c, g.cfg.CreatesPerClient, 0)
 	}
 	return jitterSpecs(streams, 0, 0, src.Fork(1)), nil
 }

@@ -102,6 +102,10 @@ type ClientSpec struct {
 	// RateScale multiplies the base client op rate (per-client speed
 	// variation; 1.0 = nominal).
 	RateScale float64
+	// Tenant is the index of the tenant the client belongs to (0 when
+	// the workload is single-tenant). The QoS layer charges every op
+	// the client issues to this tenant's token bucket.
+	Tenant int
 }
 
 // Generator builds a workload: its namespace and its client streams.

@@ -21,6 +21,12 @@ type ZipfConfig struct {
 	Exponent float64
 	// MeanFileBytes is the average file size.
 	MeanFileBytes int64
+	// Dir is the workload's root directory (default "/zipf").
+	Dir string
+	// ClientOffset shifts the client indices baked into directory
+	// names. Sub-populations that share a root (tenant mixes) must use
+	// disjoint offsets, or their directory names collide.
+	ClientOffset int
 }
 
 func (c *ZipfConfig) defaults() {
@@ -35,6 +41,9 @@ func (c *ZipfConfig) defaults() {
 	}
 	if c.MeanFileBytes == 0 {
 		c.MeanFileBytes = 16 * 1024
+	}
+	if c.Dir == "" {
+		c.Dir = "/zipf"
 	}
 }
 
@@ -53,13 +62,13 @@ func (g *Zipf) Name() string { return "Zipf" }
 // Setup implements Generator: it builds /zipf/client<i>/file<j> and
 // gives each client Zipf-distributed reads over its own directory.
 func (g *Zipf) Setup(tree *namespace.Tree, clients int, src *rng.Source) ([]ClientSpec, error) {
-	root, err := tree.MkdirAll("/zipf")
+	root, err := tree.MkdirAll(g.cfg.Dir)
 	if err != nil {
 		return nil, err
 	}
 	streams := make([]Stream, clients)
 	for c := 0; c < clients; c++ {
-		dir, err := tree.Mkdir(root, fmt.Sprintf("client%03d", c))
+		dir, err := tree.Mkdir(root, fmt.Sprintf("client%03d", g.cfg.ClientOffset+c))
 		if err != nil {
 			return nil, err
 		}
